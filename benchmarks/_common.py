@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-style table it regenerates *and* writes it
+to ``benchmarks/results/<name>.txt`` so the artifact survives pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def format_table(headers: list[str], rows: list[tuple], widths=None) -> str:
+    """Fixed-width ASCII table."""
+    if widths is None:
+        widths = [
+            max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) + 2
+            for i in range(len(headers))
+        ]
+    lines = ["".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * sum(widths))
+    for row in rows:
+        lines.append("".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

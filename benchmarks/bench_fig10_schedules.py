@@ -1,0 +1,61 @@
+"""Fig. 10: computation schedules of a 2-PE PermDNN (N_MUL=1, N_ACC=4).
+
+Reproduces the paper's worked example on an 8x8 weight matrix:
+
+- Fig. 10(a), p=2: Case 1 -- two cycles per column, continuous.
+- Fig. 10(b), p=3: Case 2 -- accumulators run out; rows are processed in
+  chunks and the input columns are re-walked (partial-then-release).
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.hw.scheduler import classify_case, cycles_per_column, schedule_trace
+
+
+def test_fig10_schedules(benchmark):
+    # Fig. 10(a): 8x8, p=2 -> each PE owns 4 rows
+    trace_a = benchmark(
+        schedule_trace, 8, 4, 2, 1, 4
+    )
+    schedule_a = cycles_per_column(4, 2, 1, 4)
+
+    # Fig. 10(b): p=3 -> padded matrix, each PE owns ~6 rows, N_ACC=4 < 6
+    schedule_b = cycles_per_column(6, 3, 1, 4)
+    trace_b = schedule_trace(4, 6, 3, 1, 4)
+
+    rows_a = [
+        (e["cycle"], f"col {e['column']}", e["pass"], e["rows"])
+        for e in trace_a[:8]
+    ]
+    rows_b = [
+        (e["cycle"], f"col {e['column']}", e["pass"], e["rows"])
+        for e in trace_b
+    ]
+    text = (
+        "Fig. 10(a)  p=2: case {} -- {} cycles/column, continuous\n{}\n\n"
+        "Fig. 10(b)  p=3: case {} -- {} passes, {} cycles/column total\n{}"
+    ).format(
+        schedule_a.case,
+        int(schedule_a.cycles_per_column),
+        format_table(["cycle", "column", "pass", "PE-local rows"], rows_a),
+        schedule_b.case,
+        schedule_b.passes,
+        int(schedule_b.cycles_per_column),
+        format_table(["cycle", "column", "pass", "PE-local rows"], rows_b),
+    )
+    emit("fig10_schedules", text)
+
+    # paper: p=2 example takes two cycles per column, continuously
+    assert schedule_a.case == 1
+    assert schedule_a.cycles_per_column == 2.0
+    # paper: p=3 example must split rows across accumulator chunks and
+    # revisit columns (the "release and redo" procedure)
+    assert schedule_b.case == 2
+    assert schedule_b.passes == 2
+    passes_seen = {e["pass"] for e in trace_b}
+    assert passes_seen == {0, 1}
+    # every pass walks all 4 columns
+    for pass_idx in passes_seen:
+        cols = {e["column"] for e in trace_b if e["pass"] == pass_idx}
+        assert cols == {0, 1, 2, 3}

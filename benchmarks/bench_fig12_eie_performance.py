@@ -1,0 +1,82 @@
+"""Fig. 12: PermDNN vs EIE on the benchmark FC layers.
+
+Paper headline (on Alex-FC6/7/8, both designs at 28 nm):
+
+- speedup             3.3x - 4.8x
+- area efficiency     5.9x - 8.5x
+- energy efficiency   2.8x - 4.0x
+
+Both engines execute models of identical weight density (EIE runs an
+unstructured magnitude-pruned matrix, PermDNN the PD matrix) with the
+same input activation vector.  The ratios come out of the two cycle-level
+simulators -- nothing is copied from the paper.
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.hw import PermDNNEngine, TABLE_VII_WORKLOADS, make_workload_instance
+from repro.hw.baselines import EIEConfig, EIESimulator
+
+PAPER_BANDS = {"speedup": (3.3, 4.8), "area": (5.9, 8.5), "energy": (2.8, 4.0)}
+
+
+def _compare_all():
+    engine = PermDNNEngine()
+    eie = EIESimulator(EIEConfig.projected_28nm())
+    rows = []
+    ratios = []
+    for workload in TABLE_VII_WORKLOADS:
+        matrix, x = make_workload_instance(workload, rng=0)
+        perm = engine.performance(
+            engine.run_fc_layer(matrix, x), (workload.m, workload.n)
+        )
+        pruned = EIESimulator.prune_reference(
+            (workload.m, workload.n), workload.weight_density, rng=1
+        )
+        eie_result = eie.run_fc_layer(pruned, x)
+        ref = eie.performance(eie_result, (workload.m, workload.n))
+        speed = perm.speedup_over(ref)
+        area = perm.area_efficiency_ratio(ref)
+        energy = perm.energy_efficiency_ratio(ref)
+        rows.append(
+            (
+                workload.name,
+                f"{perm.frames_per_second:,.0f}",
+                f"{ref.frames_per_second:,.0f}",
+                f"{speed:.2f}x",
+                f"{area:.2f}x",
+                f"{energy:.2f}x",
+                f"{eie_result.load_imbalance:.3f}",
+            )
+        )
+        ratios.append((workload.name, speed, area, energy))
+    return rows, ratios
+
+
+def test_fig12_eie_performance(benchmark):
+    rows, ratios = benchmark.pedantic(_compare_all, rounds=1, iterations=1)
+    table = format_table(
+        ["layer", "PermDNN fps", "EIE fps", "speedup", "area-eff",
+         "energy-eff", "EIE imbalance"],
+        rows,
+    )
+    emit(
+        "fig12_eie_performance",
+        table + "\npaper bands (Alex layers): speedup 3.3-4.8x, "
+        "area 5.9-8.5x, energy 2.8-4.0x",
+    )
+
+    alex = [r for r in ratios if r[0].startswith("Alex")]
+    speeds = [r[1] for r in alex]
+    areas = [r[2] for r in alex]
+    energies = [r[3] for r in alex]
+    # within ~10% of the paper's bands
+    assert min(speeds) > PAPER_BANDS["speedup"][0] * 0.9
+    assert max(speeds) < PAPER_BANDS["speedup"][1] * 1.1
+    assert min(areas) > PAPER_BANDS["area"][0] * 0.9
+    assert max(areas) < PAPER_BANDS["area"][1] * 1.1
+    assert min(energies) > PAPER_BANDS["energy"][0] * 0.9
+    assert max(energies) < PAPER_BANDS["energy"][1] * 1.1
+    # PermDNN wins on every single workload
+    assert all(r[1] > 1.0 for r in ratios)

@@ -1,0 +1,52 @@
+"""Fig. 13: speedup of the PermDNN engine with growing PE count.
+
+The paper sweeps PE count on all six benchmarks and reports near-linear
+speedup ("our design achieves very good scalability on all benchmarks"),
+enabled by the structural load balance of block-PD matrices.
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.hw import (
+    EngineConfig,
+    PermDNNEngine,
+    TABLE_VII_WORKLOADS,
+    make_workload_instance,
+)
+
+PE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _sweep():
+    table = {}
+    for workload in TABLE_VII_WORKLOADS:
+        matrix, x = make_workload_instance(workload, rng=0)
+        cycles = []
+        for n_pe in PE_COUNTS:
+            engine = PermDNNEngine(EngineConfig(n_pe=n_pe))
+            cycles.append(
+                engine.run_fc_layer(matrix, x, enforce_capacity=False).cycles
+            )
+        table[workload.name] = [cycles[0] / c for c in cycles]
+    return table
+
+
+def test_fig13_scalability(benchmark):
+    speedups = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        (name,) + tuple(f"{s:.2f}" for s in series)
+        for name, series in speedups.items()
+    ]
+    emit(
+        "fig13_scalability",
+        format_table(["layer"] + [f"{n} PE" for n in PE_COUNTS], rows),
+    )
+
+    for name, series in speedups.items():
+        # monotone speedup
+        assert all(b >= a for a, b in zip(series, series[1:])), name
+        # near-linear through 32 PEs: at least 85% parallel efficiency
+        assert series[PE_COUNTS.index(32)] > 0.85 * 32, name
+        # still strong at 64
+        assert series[-1] > 0.8 * 64, name

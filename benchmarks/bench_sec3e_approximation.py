@@ -1,0 +1,48 @@
+"""Sec. III-E (second half): approximation power scales with parameters.
+
+The paper claims PD networks are universal approximators with error bound
+O(1/n) in the parameter count.  We fit a fixed smooth 1-D function with PD
+networks of growing width and check (1) the error falls as parameters grow
+and (2) a PD network is competitive with a *dense* network of comparable
+parameter count -- the comparison the bound implies.
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.analysis import approximation_error_curve, fit_function
+
+
+def test_sec3e_approximation_power(benchmark):
+    curve = benchmark.pedantic(
+        lambda: approximation_error_curve(widths=(8, 16, 32, 64), p=4, steps=700),
+        rounds=1,
+        iterations=1,
+    )
+    # dense reference matched on parameter count: dense width w has ~w^2
+    # hidden params, PD width w has w^2/4 -- so dense width w/2 is the
+    # equal-parameter comparison for PD width w.
+    dense_ref = fit_function(width=32, p=None, steps=700, seed=0)
+
+    rows = [
+        (f"PD p=4, width {r.width}", r.parameters, f"{r.l2_error:.4f}")
+        for r in curve
+    ]
+    rows.append(
+        ("dense, width 32 (equal-param ref)", dense_ref.parameters,
+         f"{dense_ref.l2_error:.4f}")
+    )
+    emit(
+        "sec3e_approximation",
+        format_table(["network", "parameters", "L2 error"], rows)
+        + "\npaper: universal approximation with error bound O(1/n)",
+    )
+
+    errors = [r.l2_error for r in curve]
+    # error decreases from the smallest to the largest network
+    assert errors[-1] < errors[0]
+    # the largest PD network achieves a usably small error
+    assert errors[-1] < 0.25
+    # PD (width 64, ~2.2k params) is in the same league as the dense
+    # equal-parameter reference
+    assert errors[-1] < dense_ref.l2_error * 3

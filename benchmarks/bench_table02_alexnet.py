@@ -1,0 +1,120 @@
+"""Table II: AlexNet FC layers -- accuracy and compression under PD.
+
+Paper rows (ImageNet, FC6/FC7/FC8 with p = 10/10/4):
+
+=============================  =========  ==============
+model                          top-5 acc  FC storage
+=============================  =========  ==============
+original 32-bit float          80.20%     234.5 MB (1x)
+32-bit float with PD           80.00%     25.9 MB (9.0x)
+16-bit fixed with PD           79.90%     12.9 MB (18.1x)
+=============================  =========  ==============
+
+Here: storage is computed at *paper scale* (exact arithmetic -- compare the
+MB column), accuracy at 1/64 scale on the Gaussian-mixture substitute
+(compare the *gap* between dense and PD rows, which the paper reports as
+0.2-0.3%; expect a small single-digit gap at our scale).
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, format_table
+from repro.datasets import GaussianMixtureDataset
+from repro.metrics import model_storage_report, top_k_accuracy
+from repro.models import ALEXNET_FC_SHAPES, ALEXNET_PD_BLOCKS, build_alexnet_fc
+from repro.nn import Adam, CrossEntropyLoss, Trainer
+from repro.nn.quantization import quantize_fixed_point
+
+
+def _paper_scale_storage():
+    """Exact MB figures for the paper-sized FC stack."""
+    from repro.core import StorageReport
+
+    rows = []
+    for weight_bits, label in ((32, "32-bit float with PD"), (16, "16-bit fixed with PD")):
+        dense_mb = compressed_mb = 0.0
+        for (n_in, n_out), p in zip(ALEXNET_FC_SHAPES, ALEXNET_PD_BLOCKS):
+            report = StorageReport.for_pd_layer(n_out, n_in, p, 32, weight_bits)
+            dense_mb += report.dense_megabytes
+            compressed_mb += report.compressed_megabytes
+        rows.append((label, dense_mb, compressed_mb))
+    return rows
+
+
+def _train_scaled(p_values, seed=0):
+    scale = 64
+    dataset = GaussianMixtureDataset(
+        num_features=9216 // scale, num_classes=1000 // scale, separation=3.5,
+        seed=0,
+    )
+    x_train, y_train, x_test, y_test = dataset.train_test_split(3000, 800)
+    # dropout off and a longer budget: at 1/64 scale the PD fan-in is only
+    # ~14 inputs/unit (vs ~920 at paper scale), so the compressed model
+    # needs the extra epochs to close the gap -- the paper's full-scale
+    # models do not have this constraint.
+    model = build_alexnet_fc(
+        p_values=p_values, scale=scale, num_classes=1000 // scale,
+        dropout=0.0, rng=seed,
+    )
+    trainer = Trainer(
+        model, Adam(model.parameters(), lr=2e-3), CrossEntropyLoss(),
+        batch_size=64, rng=seed,
+    )
+    trainer.fit(x_train, y_train, epochs=25)
+    model.eval()
+    logits = model.forward(x_test)
+    return model, top_k_accuracy(logits, y_test, k=5)
+
+
+def test_table02_alexnet(benchmark):
+    storage_rows = _paper_scale_storage()
+    dense_mb = storage_rows[0][1]
+
+    dense_model, dense_acc = _train_scaled(None, seed=0)
+    pd_model, pd_acc = benchmark.pedantic(
+        lambda: _train_scaled(ALEXNET_PD_BLOCKS, seed=0), rounds=1, iterations=1
+    )
+
+    # 16-bit fixed row: quantize the trained PD model's weights in place
+    for param in pd_model.parameters():
+        param.value[...] = quantize_fixed_point(param.value, total_bits=16)
+    dataset = GaussianMixtureDataset(
+        num_features=9216 // 64, num_classes=1000 // 64, separation=3.5, seed=0
+    )
+    __, __, x_test, y_test = dataset.train_test_split(3000, 800)
+    pd_model.eval()
+    fixed_acc = top_k_accuracy(pd_model.forward(x_test), y_test, k=5)
+
+    report = model_storage_report(pd_model)
+    rows = [
+        ("original 32-bit float", f"{dense_acc:.2%}", f"{dense_mb:.1f} MB (1x)",
+         "80.20% / 234.5 MB (1x)"),
+        (
+            "32-bit float with PD",
+            f"{pd_acc:.2%}",
+            f"{storage_rows[0][2]:.1f} MB ({dense_mb / storage_rows[0][2]:.1f}x)",
+            "80.00% / 25.9 MB (9.0x)",
+        ),
+        (
+            "16-bit fixed with PD",
+            f"{fixed_acc:.2%}",
+            f"{storage_rows[1][2]:.1f} MB ({dense_mb / storage_rows[1][2]:.1f}x)",
+            "79.90% / 12.9 MB (18.1x)",
+        ),
+    ]
+    emit(
+        "table02_alexnet",
+        format_table(
+            ["model", "top-5 acc (scaled)", "FC storage (paper scale)", "paper"],
+            rows,
+        ),
+    )
+
+    # shape assertions: storage exact, accuracy gap negligible
+    assert dense_mb == pytest.approx(234.5, rel=0.02)
+    assert storage_rows[0][2] == pytest.approx(25.9, rel=0.03)
+    assert storage_rows[1][2] == pytest.approx(12.9, rel=0.04)
+    assert report.compression_ratio == pytest.approx(9.0, rel=0.06)
+    assert pd_acc > dense_acc - 0.08, "PD accuracy should track dense"
+    assert fixed_acc > pd_acc - 0.02, "16-bit fixed should not hurt"

@@ -1,0 +1,87 @@
+"""Table III: Stanford NMT (4 stacked LSTMs, 32 FC matrices) with p = 8.
+
+Paper rows (IWSLT'15 English-Vietnamese):
+
+=========================  =====  ================
+model                      BLEU   FC storage
+=========================  =====  ================
+original 32-bit float      23.3   419.4 MB (1x)
+32-bit float with PD p=8   23.3   52.4 MB (8x)
+16-bit fixed with PD p=8   23.2   26.2 MB (16x)
+=========================  =====  ================
+
+Here: the storage ratio is exact arithmetic; BLEU is measured on the
+synthetic translation corpus with a scaled 4-LSTM seq2seq.  The claim to
+verify is *BLEU(PD) ~= BLEU(dense)* at the same training budget.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, format_table
+from repro.datasets import TranslationCorpus
+from repro.metrics import corpus_bleu, model_storage_report
+from repro.models import Seq2SeqNMT
+from repro.nn import Adam, CrossEntropyLoss
+from repro.nn.quantization import quantize_fixed_point
+
+STEPS = 220
+
+
+def _train_and_bleu(p, corpus, quantize=False, seed=0):
+    model = Seq2SeqNMT(
+        vocab_size=corpus.vocab.size, embed_dim=20, hidden=40, p=p,
+        num_layers=2, rng=seed,
+    )
+    optimizer = Adam(model.parameters(), lr=8e-3)
+    loss_fn = CrossEntropyLoss(ignore_index=corpus.vocab.PAD)
+    gen = np.random.default_rng(seed + 1)
+    for _ in range(STEPS):
+        src, tgt_in, tgt_out = corpus.to_batch(corpus.sample_pairs(32, gen))
+        model.train_batch(src, tgt_in, tgt_out, optimizer, loss_fn)
+    if quantize:
+        for param in model.parameters():
+            param.value[...] = quantize_fixed_point(param.value, total_bits=16)
+    pairs = corpus.sample_pairs(120, np.random.default_rng(4242))
+    src, _, _ = corpus.to_batch(pairs)
+    hyps = model.greedy_decode(
+        src, bos=corpus.vocab.BOS, eos=corpus.vocab.EOS, max_len=12
+    )
+    return model, corpus_bleu([t for _, t in pairs], hyps)
+
+
+def test_table03_nmt(benchmark):
+    corpus = TranslationCorpus(vocab_size=20, min_len=3, max_len=5, seed=0)
+
+    dense_model, dense_bleu = _train_and_bleu(None, corpus)
+    pd_model, pd_bleu = benchmark.pedantic(
+        lambda: _train_and_bleu(4, corpus), rounds=1, iterations=1
+    )
+    __, fixed_bleu = _train_and_bleu(4, corpus, quantize=True)
+
+    report = model_storage_report(pd_model)
+    # paper-scale storage arithmetic: 32 matrices at p=8 is exactly 8x
+    paper_ratio_32 = 8.0
+    rows = [
+        ("original 32-bit float", f"{dense_bleu:.1f}", "1x", "23.3 / 1x"),
+        (
+            "32-bit float with PD",
+            f"{pd_bleu:.1f}",
+            f"{report.compression_ratio:.1f}x (paper p=8: {paper_ratio_32:.0f}x)",
+            "23.3 / 8x",
+        ),
+        (
+            "16-bit fixed with PD",
+            f"{fixed_bleu:.1f}",
+            f"{2 * report.compression_ratio:.1f}x vs 32-bit dense",
+            "23.2 / 16x",
+        ),
+    ]
+    emit(
+        "table03_nmt",
+        format_table(["model", "BLEU (scaled task)", "LSTM compression", "paper"], rows),
+    )
+
+    assert pd_bleu > dense_bleu - 3.0, "PD BLEU must track dense BLEU"
+    assert fixed_bleu > pd_bleu - 3.0, "16-bit fixed must not collapse BLEU"
+    assert report.compression_ratio == pytest.approx(3.8, abs=0.3)  # p=4 scaled

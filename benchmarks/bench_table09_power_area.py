@@ -1,0 +1,61 @@
+"""Table IX: power and area breakdowns (PE and whole engine).
+
+The area/power model is calibrated at the paper's design point, so the
+default configuration must reproduce the published breakdown; the bench
+also exercises the model's scaling axes (frequency, PE count).
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.hw import AreaPowerModel, EngineConfig, PEConfig
+
+PAPER_PE_POWER = {
+    "memory": 3.575, "register": 4.755, "combinational": 10.48, "clock": 3.064,
+}
+PAPER_PE_AREA = {
+    "memory": 0.178, "register": 0.01, "combinational": 0.015,
+    "clock": 0.0005, "filler": 0.0678,
+}
+
+
+def test_table09_power_area(benchmark):
+    model = AreaPowerModel()
+    breakdown = benchmark(model.pe_breakdown, PEConfig())
+    engine = model.engine_breakdown(EngineConfig())
+
+    rows = []
+    for component in ("memory", "register", "combinational", "clock", "filler"):
+        power = breakdown.power_mw.get(component)
+        area = breakdown.area_mm2.get(component)
+        rows.append(
+            (
+                component,
+                f"{power:.3f}" if power is not None else "--",
+                f"{PAPER_PE_POWER.get(component, float('nan')):.3f}"
+                if component in PAPER_PE_POWER else "--",
+                f"{area:.4f}",
+                f"{PAPER_PE_AREA[component]:.4f}",
+            )
+        )
+    rows.append(
+        ("PE total", f"{breakdown.total_power_mw:.3f}", "21.874",
+         f"{breakdown.total_area_mm2:.3f}", "0.271")
+    )
+    rows.append(
+        ("engine total", f"{engine.total_power_w * 1000:.1f} mW", "703.4 mW",
+         f"{engine.total_area_mm2:.2f} mm2", "8.85 mm2")
+    )
+    emit(
+        "table09_power_area",
+        format_table(
+            ["component", "power mW", "paper", "area mm2", "paper "], rows
+        ),
+    )
+
+    assert breakdown.total_power_mw == pytest.approx(21.874, rel=1e-4)
+    assert breakdown.total_area_mm2 == pytest.approx(0.271, abs=0.001)
+    assert engine.total_power_w == pytest.approx(0.7034, rel=1e-3)
+    assert engine.total_area_mm2 == pytest.approx(8.85, rel=0.003)
+    for component, value in PAPER_PE_POWER.items():
+        assert breakdown.power_mw[component] == pytest.approx(value, rel=1e-6)

@@ -1,0 +1,41 @@
+"""Table X: design-parameter comparison of EIE and PermDNN.
+
+Regenerates the table: EIE reported at 45 nm, projected to 28 nm with the
+footnote-10 rule (linear frequency, quadratic area, constant power), side
+by side with the PermDNN 32-PE design point.
+"""
+
+import pytest
+
+from _common import emit, format_table
+from repro.hw import PermDNNEngine, project_design
+from repro.hw.baselines.eie import EIE_DESIGN_45NM
+
+
+def test_table10_eie_comparison(benchmark):
+    projected = benchmark(project_design, EIE_DESIGN_45NM, 28)
+    engine = PermDNNEngine()
+
+    rows = [
+        ("Number of PEs", 64, 64, engine.config.n_pe),
+        ("CMOS tech", "45 nm", "28 nm (projected)", "28 nm"),
+        ("Clock (MHz)", 800, f"{projected.clock_ghz * 1000:.0f}", 1200),
+        ("Weight sharing", "4 bits", "4 bits", "4 bits"),
+        ("Quantization", "16 bits", "16 bits", "16 bits"),
+        ("Area (mm2)", 40.8, f"{projected.area_mm2:.1f}", f"{engine.area_mm2:.2f}"),
+        ("Power (W)", 0.59, f"{projected.power_w:.2f}", f"{engine.power_w:.2f}"),
+    ]
+    emit(
+        "table10_eie_comparison",
+        format_table(
+            ["design", "EIE reported", "EIE projected", "PermDNN"], rows
+        ),
+    )
+
+    # paper's projected values: 1285 MHz, 15.7 mm2, 0.59 W
+    assert projected.clock_ghz * 1000 == pytest.approx(1285, abs=2)
+    assert projected.area_mm2 == pytest.approx(15.7, rel=0.02)
+    assert projected.power_w == pytest.approx(0.59)
+    # PermDNN design point: 8.85 mm2, 0.70 W at 1.2 GHz
+    assert engine.area_mm2 == pytest.approx(8.85, rel=0.003)
+    assert engine.power_w == pytest.approx(0.7034, rel=1e-3)

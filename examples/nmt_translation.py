@@ -1,0 +1,59 @@
+"""NMT with PD-compressed LSTMs: the Table III experiment at small scale.
+
+Trains two seq2seq models -- dense LSTMs and p-compressed PD LSTMs -- on
+the synthetic translation corpus (IWSLT substitute) and compares BLEU.
+Paper claim: BLEU is unchanged (23.3 -> 23.3) at 8x weight compression.
+
+Run:  python examples/nmt_translation.py
+"""
+
+import numpy as np
+
+from repro.datasets import TranslationCorpus
+from repro.metrics import corpus_bleu, model_storage_report
+from repro.models import Seq2SeqNMT
+from repro.nn import Adam, CrossEntropyLoss
+
+
+def train_and_score(p: int | None, corpus: TranslationCorpus, steps: int = 250):
+    model = Seq2SeqNMT(
+        vocab_size=corpus.vocab.size, embed_dim=24, hidden=48, p=p,
+        num_layers=2, rng=0,
+    )
+    optimizer = Adam(model.parameters(), lr=8e-3)
+    loss_fn = CrossEntropyLoss(ignore_index=corpus.vocab.PAD)
+    gen = np.random.default_rng(1)
+    loss = float("nan")
+    for step in range(steps):
+        src, tgt_in, tgt_out = corpus.to_batch(corpus.sample_pairs(32, gen))
+        loss = model.train_batch(src, tgt_in, tgt_out, optimizer, loss_fn)
+
+    eval_pairs = corpus.sample_pairs(100, np.random.default_rng(999))
+    src, _, _ = corpus.to_batch(eval_pairs)
+    hypotheses = model.greedy_decode(
+        src, bos=corpus.vocab.BOS, eos=corpus.vocab.EOS, max_len=12
+    )
+    references = [target for _, target in eval_pairs]
+    bleu = corpus_bleu(references, hypotheses)
+    report = model_storage_report(model)
+    return loss, bleu, report
+
+
+def main() -> None:
+    corpus = TranslationCorpus(vocab_size=24, min_len=3, max_len=6, seed=0)
+    print("=== Table III (scaled): dense vs PD stacked-LSTM NMT ===\n")
+    print("model has 4 LSTMs x 8 component weight matrices = 32 FC matrices\n")
+    for label, p in (("dense", None), ("PD p=4", 4)):
+        loss, bleu, report = train_and_score(p, corpus)
+        print(
+            f"{label:8s} final loss {loss:6.3f}   BLEU {bleu:6.2f}   "
+            f"LSTM-weight compression {report.compression_ratio:5.2f}x"
+        )
+    print(
+        "\npaper: BLEU 23.3 (dense) vs 23.3 (PD p=8) at 8x compression -- "
+        "compression does not cost translation quality"
+    )
+
+
+if __name__ == "__main__":
+    main()

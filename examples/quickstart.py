@@ -1,0 +1,85 @@
+"""Quickstart: train a permuted-diagonal MLP and compare it with dense.
+
+Demonstrates the paper's central algorithmic claim at laptop scale: an FC
+network whose weight matrices are block-permuted diagonal (compression
+ratio = p, zero index storage) trains from scratch to the same accuracy as
+its dense counterpart.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.datasets import GaussianMixtureDataset
+from repro.metrics import model_storage_report
+from repro.nn import (
+    Adam,
+    CrossEntropyLoss,
+    Linear,
+    PermDiagLinear,
+    ReLU,
+    Sequential,
+    Trainer,
+)
+
+
+def build_model(compressed: bool, p: int = 4, seed: int = 0) -> Sequential:
+    """A 3-layer classifier, dense or PD-compressed."""
+    rng = np.random.default_rng(seed)
+    if compressed:
+        return Sequential(
+            PermDiagLinear(64, 128, p=p, rng=rng),
+            ReLU(),
+            PermDiagLinear(128, 128, p=p, rng=rng),
+            ReLU(),
+            PermDiagLinear(128, 10, p=2, rng=rng),
+        )
+    return Sequential(
+        Linear(64, 128, rng=rng),
+        ReLU(),
+        Linear(128, 128, rng=rng),
+        ReLU(),
+        Linear(128, 10, rng=rng),
+    )
+
+
+def main() -> None:
+    dataset = GaussianMixtureDataset(
+        num_features=64, num_classes=10, separation=2.5, seed=0
+    )
+    x_train, y_train, x_test, y_test = dataset.train_test_split(4000, 1000)
+
+    print("=== PermDNN quickstart: dense vs permuted-diagonal MLP ===\n")
+    results = {}
+    for label, compressed in (("dense", False), ("permuted-diagonal", True)):
+        model = build_model(compressed)
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=3e-3),
+            CrossEntropyLoss(),
+            batch_size=64,
+            rng=0,
+        )
+        history = trainer.fit(x_train, y_train, x_test, y_test, epochs=12)
+        report = model_storage_report(model)
+        results[label] = (history.final_test_accuracy, report)
+        print(
+            f"{label:18s} test accuracy {history.final_test_accuracy:6.2%}   "
+            f"stored weights {report.stored_weights:7d}   "
+            f"compression {report.compression_ratio:5.2f}x"
+        )
+
+    dense_acc = results["dense"][0]
+    pd_acc = results["permuted-diagonal"][0]
+    print(
+        f"\naccuracy gap (dense - PD): {dense_acc - pd_acc:+.2%} "
+        f"(paper: 'no or negligible accuracy loss')"
+    )
+    print(
+        "PD model stores positions implicitly -- zero index bits "
+        "(the Fig. 4 argument)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setuptools entry point (kept for offline `pip install -e .` support)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PermDNN reproduction: compressed DNNs with permuted diagonal "
+        "matrices, plus cycle-level accelerator simulation (MICRO 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

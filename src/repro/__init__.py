@@ -1,0 +1,37 @@
+"""PermDNN reproduction (MICRO 2018).
+
+A from-scratch implementation of *"PermDNN: Efficient Compressed DNN
+Architecture with Permuted Diagonal Matrices"* (Deng et al., MICRO 2018):
+
+- :mod:`repro.core` -- permuted-diagonal linear algebra (the contribution).
+- :mod:`repro.nn` -- a numpy DNN training framework with structure-preserving
+  PD layers (FC, CONV, LSTM) plus pruning / circulant / quantization baselines.
+- :mod:`repro.models` -- reference networks used in the paper's evaluation.
+- :mod:`repro.datasets` -- synthetic substitutes for ImageNet/CIFAR/MNIST/IWSLT.
+- :mod:`repro.metrics` -- accuracy, BLEU, compression accounting.
+- :mod:`repro.hw` -- cycle-level simulators of the PermDNN engine and of the
+  EIE / CirCNN baselines, with calibrated area/power models.
+- :mod:`repro.analysis` -- connectedness (Sec. III-E) and storage (Fig. 4)
+  analyses.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    BlockPermDiagTensor4D,
+    BlockPermutedDiagonalMatrix,
+    PermutationSpec,
+    PermutedDiagonalMatrix,
+    approximate_pd,
+    approximate_pd_tensor,
+)
+
+__all__ = [
+    "BlockPermDiagTensor4D",
+    "BlockPermutedDiagonalMatrix",
+    "PermutationSpec",
+    "PermutedDiagonalMatrix",
+    "approximate_pd",
+    "approximate_pd_tensor",
+    "__version__",
+]

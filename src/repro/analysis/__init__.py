@@ -1,0 +1,35 @@
+"""Analyses supporting the paper's theory sections."""
+
+from repro.analysis.connectedness import (
+    connectivity_fraction,
+    is_fully_connected,
+    layer_connectivity_graph,
+)
+from repro.analysis.storage_comparison import (
+    StoragePoint,
+    storage_comparison_curve,
+)
+from repro.analysis.approximation_power import (
+    ApproximationResult,
+    approximation_error_curve,
+    fit_function,
+)
+from repro.analysis.memory_energy import (
+    AccessEnergyModel,
+    WeightAccessReport,
+    weight_access_energy,
+)
+
+__all__ = [
+    "AccessEnergyModel",
+    "ApproximationResult",
+    "StoragePoint",
+    "WeightAccessReport",
+    "approximation_error_curve",
+    "connectivity_fraction",
+    "fit_function",
+    "is_fully_connected",
+    "layer_connectivity_graph",
+    "storage_comparison_curve",
+    "weight_access_energy",
+]

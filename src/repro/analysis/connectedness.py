@@ -1,0 +1,74 @@
+"""Connectedness of block-permuted diagonal networks (Sec. III-E).
+
+The paper's universal-approximation argument rests on a structural lemma:
+"when ``k_l`` is not identical for all permuted diagonal matrices, the
+sparse connections between adjacent block-permuted diagonal layers do not
+block away information from any neuron in the previous layer."
+
+We verify that lemma computationally: build the bipartite (multi-layer)
+connectivity graph induced by the PD masks and check that every input
+neuron reaches every output neuron.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core import BlockPermutedDiagonalMatrix
+
+__all__ = [
+    "connectivity_fraction",
+    "is_fully_connected",
+    "layer_connectivity_graph",
+]
+
+
+def layer_connectivity_graph(
+    layers: list[BlockPermutedDiagonalMatrix],
+) -> nx.DiGraph:
+    """Directed reachability graph of a stack of PD layers.
+
+    Node ``(depth, i)`` is neuron ``i`` of layer-boundary ``depth``
+    (depth 0 = network input).  An edge exists where the PD mask has a
+    non-zero slot.
+
+    Args:
+        layers: matrices ordered input-to-output; ``layers[d]`` maps
+            boundary ``d`` (width ``n``) to boundary ``d+1`` (width ``m``).
+    """
+    graph = nx.DiGraph()
+    for depth, matrix in enumerate(layers):
+        if depth > 0 and matrix.shape[1] != layers[depth - 1].shape[0]:
+            raise ValueError(
+                f"layer {depth} expects {matrix.shape[1]} inputs but layer "
+                f"{depth - 1} emits {layers[depth - 1].shape[0]}"
+            )
+        mask = matrix.dense_mask()
+        rows, cols = np.nonzero(mask)
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            graph.add_edge((depth, c), (depth + 1, r))
+    return graph
+
+
+def connectivity_fraction(layers: list[BlockPermutedDiagonalMatrix]) -> float:
+    """Fraction of (input, output) pairs connected through the stack."""
+    if not layers:
+        raise ValueError("need at least one layer")
+    graph = layer_connectivity_graph(layers)
+    n_in = layers[0].shape[1]
+    n_out = layers[-1].shape[0]
+    depth = len(layers)
+    reached = 0
+    for i in range(n_in):
+        source = (0, i)
+        if source not in graph:
+            continue
+        descendants = nx.descendants(graph, source)
+        reached += sum(1 for j in range(n_out) if (depth, j) in descendants)
+    return reached / (n_in * n_out)
+
+
+def is_fully_connected(layers: list[BlockPermutedDiagonalMatrix]) -> bool:
+    """True when every input neuron reaches every output neuron."""
+    return connectivity_fraction(layers) == 1.0

@@ -1,0 +1,78 @@
+"""DRAM-vs-SRAM energy: the paper's motivating argument (Sec. I).
+
+"Since the size of on-chip SRAM is usually very limited, placing the
+large-scale DNN models on the off-chip DRAM, which has more than 100 times
+higher energy cost than SRAM, is a bitter but inevitable choice."
+
+This module quantifies that: given a model's storage footprint and an
+on-chip SRAM budget, estimate the per-inference weight-access energy with
+and without PD compression.  Energy constants follow the well-known
+45 nm numbers from Horowitz (ISSCC'14), the same source EIE cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessEnergyModel", "WeightAccessReport", "weight_access_energy"]
+
+# Energy per 32-bit access (picojoules), 45 nm (Horowitz, ISSCC 2014).
+SRAM_PJ_PER_32B = 5.0
+DRAM_PJ_PER_32B = 640.0  # ~128x SRAM
+
+
+@dataclass(frozen=True)
+class AccessEnergyModel:
+    """Per-access energy constants (pJ per 32-bit word).
+
+    Attributes:
+        sram_pj: on-chip SRAM access.
+        dram_pj: off-chip DRAM access (>100x SRAM -- the paper's premise).
+    """
+
+    sram_pj: float = SRAM_PJ_PER_32B
+    dram_pj: float = DRAM_PJ_PER_32B
+
+
+@dataclass(frozen=True)
+class WeightAccessReport:
+    """Weight-fetch energy for one full inference pass.
+
+    Attributes:
+        stored_weights: weights the representation keeps.
+        fits_on_chip: whether they fit the SRAM budget.
+        energy_uj: micro-joules to stream every weight once.
+    """
+
+    stored_weights: int
+    fits_on_chip: bool
+    energy_uj: float
+
+
+def weight_access_energy(
+    stored_weights: int,
+    sram_budget_weights: int,
+    model: AccessEnergyModel | None = None,
+) -> WeightAccessReport:
+    """Energy to read every weight once during an inference.
+
+    Weights that fit on chip are read from SRAM; the overflow streams from
+    DRAM every inference (no reuse assumed -- FC layers read each weight
+    exactly once per input, which is why they are memory-bound).
+
+    Args:
+        stored_weights: weight count of the (possibly compressed) model.
+        sram_budget_weights: how many weights the on-chip SRAM holds.
+        model: energy constants.
+    """
+    if stored_weights < 0 or sram_budget_weights < 0:
+        raise ValueError("counts must be non-negative")
+    model = model or AccessEnergyModel()
+    on_chip = min(stored_weights, sram_budget_weights)
+    off_chip = stored_weights - on_chip
+    energy_pj = on_chip * model.sram_pj + off_chip * model.dram_pj
+    return WeightAccessReport(
+        stored_weights=stored_weights,
+        fits_on_chip=off_chip == 0,
+        energy_uj=energy_pj / 1e6,
+    )

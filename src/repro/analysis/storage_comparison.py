@@ -1,0 +1,80 @@
+"""Storage requirement comparison (Fig. 4 of the paper).
+
+For the same number of kept weights, an unstructured sparse layer pays
+``weight_bits + index_bits`` per weight plus column pointers, while the PD
+layer pays ``weight_bits`` plus an amortized ``ceil(log2 p)/p`` for the
+permutation parameter.  This module generates the comparison curve across
+compression ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.storage import (
+    pd_storage_bits,
+    unstructured_sparse_storage_bits,
+)
+
+__all__ = ["StoragePoint", "storage_comparison_curve"]
+
+
+@dataclass(frozen=True)
+class StoragePoint:
+    """Storage cost of one layer under both representations.
+
+    Attributes:
+        compression: compression ratio (== PD block size ``p``).
+        pd_bits: block-permuted diagonal cost.
+        unstructured_bits: EIE-format cost at the same non-zero count.
+    """
+
+    compression: int
+    pd_bits: int
+    unstructured_bits: int
+
+    @property
+    def pd_advantage(self) -> float:
+        """Unstructured / PD cost ratio (>1 means PD stores less)."""
+        return self.unstructured_bits / self.pd_bits
+
+    @property
+    def pd_bits_per_weight(self) -> float:
+        return self.pd_bits
+
+    def as_row(self) -> tuple:
+        return (self.compression, self.pd_bits, self.unstructured_bits,
+                round(self.pd_advantage, 3))
+
+
+def storage_comparison_curve(
+    m: int = 1024,
+    n: int = 1024,
+    compressions: tuple[int, ...] = (2, 4, 8, 10, 16, 32),
+    weight_bits: int = 4,
+    index_bits: int = 4,
+) -> list[StoragePoint]:
+    """Fig. 4's comparison across compression ratios.
+
+    Both representations keep ``m*n/p`` weights; the unstructured one also
+    stores per-weight indices and per-column pointers.
+
+    Args:
+        m, n: layer shape.
+        compressions: block sizes / compression ratios to sweep.
+        weight_bits: stored weight precision (4-bit shared, as in EIE).
+        index_bits: unstructured per-weight index width (4 in EIE).
+    """
+    points = []
+    for p in compressions:
+        nnz = (m * n) // p
+        points.append(
+            StoragePoint(
+                compression=p,
+                pd_bits=pd_storage_bits(m, n, p, weight_bits),
+                unstructured_bits=unstructured_sparse_storage_bits(
+                    nnz, weight_bits, index_bits, num_columns=n
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,180 @@
+"""Command-line interface to the main experiments.
+
+Usage (module form):
+
+    python -m repro.cli simulate  --workload Alex-FC6 [--pes 32]
+    python -m repro.cli compare   --workload Alex-FC7
+    python -m repro.cli storage   --model alexnet|resnet20|wrn48
+    python -m repro.cli scale     --workload NMT-1
+    python -m repro.cli memory    --sram-mb 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["build_parser", "main"]
+
+
+def _find_workload(name: str):
+    from repro.hw import TABLE_VII_WORKLOADS
+
+    for workload in TABLE_VII_WORKLOADS:
+        if workload.name.lower() == name.lower():
+            return workload
+    names = ", ".join(w.name for w in TABLE_VII_WORKLOADS)
+    raise SystemExit(f"unknown workload {name!r}; choose from: {names}")
+
+
+def _cmd_simulate(args) -> int:
+    from repro.hw import EngineConfig, PermDNNEngine, make_workload_instance
+    from repro.hw.verify import verify_engine
+
+    workload = _find_workload(args.workload)
+    engine = PermDNNEngine(EngineConfig(n_pe=args.pes))
+    matrix, x = make_workload_instance(workload, rng=args.seed)
+    verify_engine(engine, matrix, x)
+    result = engine.run_fc_layer(matrix, x, enforce_capacity=not args.no_capacity)
+    perf = engine.performance(result, (workload.m, workload.n))
+    print(f"workload      : {workload.name} ({workload.m} x {workload.n}, p={workload.p})")
+    print(f"engine        : {args.pes} PEs @ {engine.config.clock_ghz} GHz")
+    print(f"cycles        : {result.cycles} (case {result.case}, "
+          f"{result.nonzero_columns} non-zero columns, "
+          f"{result.skipped_columns} skipped)")
+    print(f"latency       : {perf.latency_us:.2f} us")
+    print(f"utilization   : {result.utilization:.2%}")
+    print(f"throughput    : {perf.gops:.1f} GOPS compressed / "
+          f"{perf.equivalent_gops:.1f} GOPS dense-equivalent")
+    print(f"power / area  : {engine.power_w:.3f} W / {engine.area_mm2:.2f} mm2")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.hw import PermDNNEngine, make_workload_instance
+    from repro.hw.baselines import EIEConfig, EIESimulator
+
+    workload = _find_workload(args.workload)
+    engine = PermDNNEngine()
+    eie = EIESimulator(EIEConfig.projected_28nm())
+    matrix, x = make_workload_instance(workload, rng=args.seed)
+    perm = engine.performance(
+        engine.run_fc_layer(matrix, x), (workload.m, workload.n)
+    )
+    pruned = EIESimulator.prune_reference(
+        (workload.m, workload.n), workload.weight_density, rng=args.seed + 1
+    )
+    ref = eie.performance(eie.run_fc_layer(pruned, x), (workload.m, workload.n))
+    print(f"{workload.name}: PermDNN vs EIE (28 nm projected)")
+    print(f"speedup           : {perm.speedup_over(ref):.2f}x")
+    print(f"area efficiency   : {perm.area_efficiency_ratio(ref):.2f}x")
+    print(f"energy efficiency : {perm.energy_efficiency_ratio(ref):.2f}x")
+    return 0
+
+
+def _cmd_storage(args) -> int:
+    from repro.metrics import model_storage_report
+
+    if args.model == "alexnet":
+        from repro.models import build_alexnet_fc
+
+        model = build_alexnet_fc(scale=1, dropout=0.0, rng=0)
+    elif args.model == "resnet20":
+        from repro.models import RESNET20_POLICY, build_resnet
+
+        model = build_resnet(depth=20, policy=RESNET20_POLICY, base_width=16, rng=0)
+    elif args.model == "wrn48":
+        from repro.models import WRN48_POLICY, build_resnet
+
+        model = build_resnet(
+            depth=50, policy=WRN48_POLICY, base_width=16, widen_factor=8, rng=0
+        )
+    else:
+        raise SystemExit(f"unknown model {args.model!r}")
+    report = model_storage_report(model)
+    print(f"model              : {args.model}")
+    print(f"dense weights      : {report.dense_weights:,}")
+    print(f"stored weights     : {report.stored_weights:,}")
+    print(f"compression        : {report.compression_ratio:.2f}x")
+    print(f"size 32-bit        : {report.megabytes(32):.2f} MB "
+          f"(dense {report.dense_megabytes(32):.2f} MB)")
+    print(f"size 16-bit fixed  : {report.megabytes(16):.2f} MB")
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    from repro.hw import EngineConfig, PermDNNEngine, make_workload_instance
+
+    workload = _find_workload(args.workload)
+    matrix, x = make_workload_instance(workload, rng=args.seed)
+    base = None
+    print(f"{workload.name}: speedup vs 1 PE")
+    for n_pe in (1, 2, 4, 8, 16, 32, 64):
+        engine = PermDNNEngine(EngineConfig(n_pe=n_pe))
+        cycles = engine.run_fc_layer(matrix, x, enforce_capacity=False).cycles
+        base = base or cycles
+        print(f"  {n_pe:3d} PEs: {base / cycles:6.2f}x  ({cycles} cycles)")
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.analysis import weight_access_energy
+    from repro.metrics import model_storage_report
+    from repro.models import build_alexnet_fc
+
+    budget = int(args.sram_mb * 1e6 / 4)  # 32-bit words
+    dense = model_storage_report(build_alexnet_fc(None, scale=1, dropout=0.0))
+    compressed = model_storage_report(build_alexnet_fc(scale=1, dropout=0.0))
+    for label, report in (("dense", dense), ("PD", compressed)):
+        access = weight_access_energy(report.stored_weights, budget)
+        print(
+            f"{label:6s}: {report.stored_weights:>11,} weights  "
+            f"fits on-chip: {access.fits_on_chip!s:5s}  "
+            f"weight-fetch energy {access.energy_uj:10.1f} uJ/inference"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PermDNN reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run the engine on a Table VII layer")
+    sim.add_argument("--workload", default="Alex-FC6")
+    sim.add_argument("--pes", type=int, default=32)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--no-capacity", action="store_true",
+                     help="waive the per-PE SRAM capacity check")
+    sim.set_defaults(func=_cmd_simulate)
+
+    cmp_ = sub.add_parser("compare", help="PermDNN vs EIE on one layer")
+    cmp_.add_argument("--workload", default="Alex-FC6")
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.set_defaults(func=_cmd_compare)
+
+    sto = sub.add_parser("storage", help="storage accounting of a paper model")
+    sto.add_argument("--model", default="alexnet",
+                     choices=("alexnet", "resnet20", "wrn48"))
+    sto.set_defaults(func=_cmd_storage)
+
+    sca = sub.add_parser("scale", help="PE-count scalability sweep (Fig. 13)")
+    sca.add_argument("--workload", default="Alex-FC6")
+    sca.add_argument("--seed", type=int, default=0)
+    sca.set_defaults(func=_cmd_scale)
+
+    mem = sub.add_parser("memory", help="DRAM-vs-SRAM weight-fetch energy")
+    mem.add_argument("--sram-mb", type=float, default=16.0)
+    mem.set_defaults(func=_cmd_memory)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Core permuted-diagonal linear algebra (the paper's primary contribution).
+
+A *permuted diagonal* (PD) matrix is a ``p x p`` matrix whose only non-zero
+entries lie on a cyclically shifted diagonal: row ``c`` holds its single
+non-zero at column ``(c + k) mod p`` where ``k`` is the block's *permutation
+parameter*.  A *block-permuted diagonal* matrix tiles an ``m x n`` weight
+matrix with such blocks (Eqn. (1) of the paper), storing only ``m*n/p``
+values and **no indices** -- positions are recomputed with a modulo, which is
+what makes the representation hardware friendly.
+
+Public API
+----------
+- :class:`PermutedDiagonalMatrix` -- a single ``p x p`` PD block.
+- :class:`BlockPermutedDiagonalMatrix` -- the full ``m x n`` structured matrix.
+- :class:`BlockPermDiagTensor4D` -- PD structure over the channel plane of a
+  4-D convolution weight tensor (Fig. 2).
+- :func:`natural_permutation`, :func:`random_permutation` -- ``k_l`` selection.
+- :func:`approximate_pd` / :func:`approximate_pd_tensor` -- optimal
+  L2 projection of a dense matrix/tensor onto the PD support (Sec. III-F).
+"""
+
+from repro.core.permutation import (
+    PermutationSpec,
+    block_index,
+    natural_permutation,
+    nonzero_column,
+    nonzero_row,
+    random_permutation,
+)
+from repro.core.perm_diag import PermutedDiagonalMatrix
+from repro.core.block_perm_diag import BlockPermutedDiagonalMatrix
+from repro.core.conv_tensor import BlockPermDiagTensor4D
+from repro.core.approximation import (
+    approximate_pd,
+    approximate_pd_tensor,
+    best_permutation_parameters,
+)
+from repro.core.storage import (
+    StorageReport,
+    dense_storage_bits,
+    pd_storage_bits,
+    save_bpd,
+    load_bpd,
+    unstructured_sparse_storage_bits,
+)
+
+__all__ = [
+    "PermutationSpec",
+    "PermutedDiagonalMatrix",
+    "BlockPermutedDiagonalMatrix",
+    "BlockPermDiagTensor4D",
+    "StorageReport",
+    "approximate_pd",
+    "approximate_pd_tensor",
+    "best_permutation_parameters",
+    "block_index",
+    "dense_storage_bits",
+    "load_bpd",
+    "natural_permutation",
+    "nonzero_column",
+    "nonzero_row",
+    "pd_storage_bits",
+    "random_permutation",
+    "save_bpd",
+    "unstructured_sparse_storage_bits",
+]

@@ -1,0 +1,357 @@
+"""Block-permuted diagonal matrices: the paper's weight representation.
+
+An ``m x n`` weight matrix is tiled with ``p x p`` permuted diagonal blocks
+(Eqn. (1)).  Only the ``m*n/p`` diagonal values (the ``q`` vector) and one
+small integer per block (``k_l``) are stored; non-zero *positions* are
+recomputed arithmetically, which is the property the PermDNN hardware
+exploits to eliminate index storage.
+
+When ``m`` or ``n`` is not a multiple of ``p`` the matrix is zero-padded
+(footnote 3 of the paper); padded positions are forced to zero and excluded
+from storage accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.permutation import PermutationSpec
+
+__all__ = ["BlockPermutedDiagonalMatrix"]
+
+# Below this many gathered elements, matmat uses a single fancy-indexing
+# gather; above it, it falls back to a block-row loop to bound memory.
+_GATHER_ELEMENT_LIMIT = 50_000_000
+
+
+class BlockPermutedDiagonalMatrix:
+    """An ``m x n`` matrix made of ``p x p`` permuted diagonal blocks.
+
+    Storage layout: ``data[bi, bj, c]`` is the non-zero of block
+    ``(bi, bj)`` in its row ``c``, located at global position
+    ``(bi*p + c, bj*p + (c + ks[bi, bj]) % p)``.
+
+    Args:
+        data: array of shape ``(mb, nb, p)`` with the non-zero values.
+        ks: integer array of shape ``(mb, nb)`` with per-block permutation
+            parameters (reduced modulo ``p``).
+        shape: logical ``(m, n)``; defaults to the padded ``(mb*p, nb*p)``.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        ks: np.ndarray,
+        shape: tuple[int, int] | None = None,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        ks = np.asarray(ks, dtype=np.int64)
+        if data.ndim != 3:
+            raise ValueError(f"data must have shape (mb, nb, p), got {data.shape}")
+        mb, nb, p = data.shape
+        if ks.shape != (mb, nb):
+            raise ValueError(
+                f"ks shape {ks.shape} does not match data blocks ({mb}, {nb})"
+            )
+        if p <= 0:
+            raise ValueError("block size p must be positive")
+        self.p = p
+        self.ks = ks % p
+        if shape is None:
+            shape = (mb * p, nb * p)
+        m, n = shape
+        if not (mb * p - p < m <= mb * p and nb * p - p < n <= nb * p):
+            raise ValueError(
+                f"logical shape {shape} inconsistent with {mb}x{nb} blocks of p={p}"
+            )
+        self.shape = (int(m), int(n))
+        self.data = data
+        self.data = data * self.support_mask()  # force padding region to zero
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls,
+        shape: tuple[int, int],
+        p: int,
+        spec: PermutationSpec | None = None,
+        ks: np.ndarray | None = None,
+    ) -> "BlockPermutedDiagonalMatrix":
+        """All-zero matrix of logical ``shape`` with block size ``p``."""
+        m, n = shape
+        mb, nb = -(-m // p), -(-n // p)
+        if ks is None:
+            spec = spec or PermutationSpec()
+            ks = spec.generate(mb * nb, p).reshape(mb, nb)
+        return cls(np.zeros((mb, nb, p)), ks, shape=shape)
+
+    @classmethod
+    def random(
+        cls,
+        shape: tuple[int, int],
+        p: int,
+        spec: PermutationSpec | None = None,
+        scale: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "BlockPermutedDiagonalMatrix":
+        """Gaussian-initialized PD matrix.
+
+        ``scale`` defaults to ``sqrt(p / n)``: each output unit receives
+        ``n / p`` non-zero inputs, so this matches He/Glorot-style fan-in
+        scaling on the *effective* (sparse) fan-in.
+        """
+        out = cls.zeros(shape, p, spec=spec)
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        if scale is None:
+            scale = float(np.sqrt(p / max(shape[1], 1)))
+        out.data = rng.normal(0.0, scale, size=out.data.shape) * out.support_mask()
+        return out
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        p: int,
+        ks: np.ndarray | None = None,
+        spec: PermutationSpec | None = None,
+    ) -> "BlockPermutedDiagonalMatrix":
+        """Project a dense matrix onto the PD support (keep on-diagonal entries).
+
+        For fixed ``ks`` this is the optimal approximation in the L2 sense
+        (Sec. III-F): the kept entries are untouched and everything off the
+        support contributes its full energy to the error no matter what.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {dense.shape}")
+        out = cls.zeros(dense.shape, p, spec=spec, ks=ks)
+        m, n = dense.shape
+        padded = np.zeros((out.mb * p, out.nb * p))
+        padded[:m, :n] = dense
+        rows, cols = out._global_indices()
+        out.data = padded[rows, cols] * out.support_mask()
+        return out
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def mb(self) -> int:
+        """Number of block rows."""
+        return self.data.shape[0]
+
+    @property
+    def nb(self) -> int:
+        """Number of block columns."""
+        return self.data.shape[1]
+
+    @property
+    def num_blocks(self) -> int:
+        return self.mb * self.nb
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (non-padding) entries: ``~ m*n/p``."""
+        return int(self.support_mask().sum())
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense element count over stored element count (== ``p`` unpadded)."""
+        return self.shape[0] * self.shape[1] / self.nnz
+
+    def support_mask(self) -> np.ndarray:
+        """Boolean ``(mb, nb, p)`` mask of entries inside the logical shape."""
+        m, n = self.shape
+        rows, cols = self._global_indices()
+        return (rows < m) & (cols < n)
+
+    def _global_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Global ``(row, col)`` of every stored slot, each ``(mb, nb, p)``."""
+        c = np.arange(self.p)
+        bi = np.arange(self.mb)
+        bj = np.arange(self.nb)
+        rows = (bi[:, None, None] * self.p + c[None, None, :]) * np.ones(
+            (1, self.nb, 1), dtype=np.int64
+        )
+        cols = bj[None, :, None] * self.p + (c[None, None, :] + self.ks[:, :, None]) % self.p
+        return rows.astype(np.int64), cols.astype(np.int64)
+
+    def dense_mask(self) -> np.ndarray:
+        """Boolean ``(m, n)`` mask of the PD support in dense coordinates."""
+        m, n = self.shape
+        mask = np.zeros((self.mb * self.p, self.nb * self.p), dtype=bool)
+        rows, cols = self._global_indices()
+        mask[rows.ravel(), cols.ravel()] = True
+        return mask[:m, :n]
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full ``m x n`` dense array."""
+        m, n = self.shape
+        dense = np.zeros((self.mb * self.p, self.nb * self.p))
+        rows, cols = self._global_indices()
+        dense[rows.ravel(), cols.ravel()] = self.data.ravel()
+        return dense[:m, :n]
+
+    def to_q(self) -> np.ndarray:
+        """Packed non-zero vector ``q`` (block-major, length ``mb*nb*p``).
+
+        ``q[l*p + c]`` is the row-``c`` non-zero of block ``l = bi*nb + bj``,
+        matching the paper's storage of "only the mn/p-length vector q".
+        """
+        return self.data.reshape(-1).copy()
+
+    @classmethod
+    def from_q(
+        cls,
+        q: np.ndarray,
+        shape: tuple[int, int],
+        p: int,
+        ks: np.ndarray,
+    ) -> "BlockPermutedDiagonalMatrix":
+        """Rebuild from a packed ``q`` vector (inverse of :meth:`to_q`)."""
+        m, n = shape
+        mb, nb = -(-m // p), -(-n // p)
+        q = np.asarray(q, dtype=np.float64)
+        if q.size != mb * nb * p:
+            raise ValueError(
+                f"q has {q.size} entries, expected {mb * nb * p} for "
+                f"shape {shape} with p={p}"
+            )
+        return cls(q.reshape(mb, nb, p), np.asarray(ks).reshape(mb, nb), shape=shape)
+
+    def transpose(self) -> "BlockPermutedDiagonalMatrix":
+        """Transpose; also block-PD, with ``k_t = (p - k) mod p`` per block.
+
+        Used by backpropagation: ``dx = W.T @ dy`` (Eqn. (3)).
+        """
+        ks_t = (-self.ks.T) % self.p
+        # Row d of the transposed block holds the original entry whose
+        # column was d, i.e. original row (d - k) mod p.
+        d = np.arange(self.p)
+        src = (d[None, None, :] - self.ks[:, :, None]) % self.p
+        data_t = np.take_along_axis(self.data, src, axis=2).transpose(1, 0, 2)
+        return BlockPermutedDiagonalMatrix(
+            data_t, ks_t, shape=(self.shape[1], self.shape[0])
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def _gather_columns(self) -> np.ndarray:
+        """Global input column index feeding each stored slot, ``(mb, nb, p)``."""
+        __, cols = self._global_indices()
+        return cols
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = W @ x`` touching only the ``m*n/p`` stored weights."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"expected x of shape ({self.shape[1]},), got {x.shape}")
+        return self.matmat(x[None, :])[0]
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        """Batched product ``Y = X @ W.T`` for ``X`` of shape ``(B, n)``.
+
+        Returns ``(B, m)``.  This is the forward pass of an FC layer
+        (``a = W x`` per sample, Sec. III-B) vectorized over the batch.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.shape[1]:
+            raise ValueError(
+                f"expected X of shape (B, {self.shape[1]}), got {x.shape}"
+            )
+        batch = x.shape[0]
+        n_pad = self.nb * self.p
+        if n_pad != x.shape[1]:
+            x_pad = np.zeros((batch, n_pad))
+            x_pad[:, : x.shape[1]] = x
+        else:
+            x_pad = x
+        cols = self._gather_columns()
+        y_blocks = np.empty((batch, self.mb, self.p))
+        if batch * cols.size <= _GATHER_ELEMENT_LIMIT:
+            gathered = x_pad[:, cols.reshape(-1)].reshape(
+                batch, self.mb, self.nb, self.p
+            )
+            y_blocks = np.einsum("ijc,bijc->bic", self.data, gathered)
+        else:
+            for bi in range(self.mb):
+                gathered = x_pad[:, cols[bi].reshape(-1)].reshape(
+                    batch, self.nb, self.p
+                )
+                y_blocks[:, bi] = np.einsum("jc,bjc->bc", self.data[bi], gathered)
+        return y_blocks.reshape(batch, self.mb * self.p)[:, : self.shape[0]]
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``W.T @ y`` (gradient propagation, Eqn. (3))."""
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (self.shape[0],):
+            raise ValueError(f"expected y of shape ({self.shape[0]},), got {y.shape}")
+        return self.transpose().matvec(y)
+
+    def rmatmat(self, y: np.ndarray) -> np.ndarray:
+        """Batched ``W.T`` product for ``Y`` of shape ``(B, m)`` -> ``(B, n)``."""
+        return self.transpose().matmat(y)
+
+    def grad_data(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        """Gradient of a batch loss w.r.t. :attr:`data` (Eqn. (2)).
+
+        ``dq[bi, bj, c] = sum_b dy[b, bi*p+c] * x[b, col(bi, bj, c)]`` --
+        only the stored (non-zero) weights receive gradient, which is what
+        keeps the trained network block-permuted diagonal.
+
+        Args:
+            x: layer input, shape ``(B, n)``.
+            dy: upstream gradient, shape ``(B, m)``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        dy = np.asarray(dy, dtype=np.float64)
+        batch = x.shape[0]
+        if dy.shape != (batch, self.shape[0]):
+            raise ValueError(
+                f"dy shape {dy.shape} does not match (B={batch}, m={self.shape[0]})"
+            )
+        n_pad, m_pad = self.nb * self.p, self.mb * self.p
+        x_pad = np.zeros((batch, n_pad))
+        x_pad[:, : x.shape[1]] = x
+        dy_pad = np.zeros((batch, m_pad))
+        dy_pad[:, : dy.shape[1]] = dy
+        dy_blocks = dy_pad.reshape(batch, self.mb, self.p)
+        cols = self._gather_columns()
+        if batch * cols.size <= _GATHER_ELEMENT_LIMIT:
+            gathered = x_pad[:, cols.reshape(-1)].reshape(
+                batch, self.mb, self.nb, self.p
+            )
+            grad = np.einsum("bic,bijc->ijc", dy_blocks, gathered)
+        else:
+            grad = np.empty_like(self.data)
+            for bi in range(self.mb):
+                gathered = x_pad[:, cols[bi].reshape(-1)].reshape(
+                    batch, self.nb, self.p
+                )
+                grad[bi] = np.einsum("bc,bjc->jc", dy_blocks[:, bi], gathered)
+        return grad * self.support_mask()
+
+    def frobenius_error(self, dense: np.ndarray) -> float:
+        """Frobenius-norm distance ``||dense - W||_F`` (approximation error)."""
+        return float(np.linalg.norm(np.asarray(dense) - self.to_dense()))
+
+    def __matmul__(self, x):
+        if isinstance(x, np.ndarray):
+            if x.ndim == 1:
+                return self.matvec(x)
+            if x.ndim == 2:
+                return self.matmat(x.T).T
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockPermutedDiagonalMatrix(shape={self.shape}, p={self.p}, "
+            f"blocks={self.mb}x{self.nb}, nnz={self.nnz})"
+        )

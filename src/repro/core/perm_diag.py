@@ -1,0 +1,130 @@
+"""A single ``p x p`` permuted diagonal matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.permutation import nonzero_column, nonzero_row
+
+__all__ = ["PermutedDiagonalMatrix"]
+
+
+class PermutedDiagonalMatrix:
+    """A ``p x p`` matrix whose non-zeros lie on a cyclically shifted diagonal.
+
+    Row ``c`` holds its single non-zero ``values[c]`` at column
+    ``(c + k) mod p``.  ``k = 0`` gives an ordinary diagonal matrix.
+
+    This is the atomic building block of the paper's representation; an
+    ``m x n`` weight matrix is a grid of these
+    (:class:`repro.core.BlockPermutedDiagonalMatrix`).
+
+    Args:
+        values: length-``p`` vector of the non-zero entries (row order).
+        k: permutation parameter; reduced modulo ``p``.
+    """
+
+    def __init__(self, values: np.ndarray, k: int) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {values.shape}")
+        if values.size == 0:
+            raise ValueError("values must be non-empty")
+        self.values = values
+        self.p = values.shape[0]
+        self.k = int(k) % self.p
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.p, self.p)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (always ``p``)."""
+        return self.p
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, k: int) -> "PermutedDiagonalMatrix":
+        """Extract the ``k``-shifted diagonal of a square dense matrix.
+
+        Entries off the permuted diagonal are discarded -- this is the
+        optimal L2 projection onto the fixed-``k`` PD support (Sec. III-F).
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ValueError(f"expected a square matrix, got shape {dense.shape}")
+        p = dense.shape[0]
+        rows = np.arange(p)
+        cols = nonzero_column(rows, k, p)
+        return cls(dense[rows, cols], k)
+
+    @classmethod
+    def identity_like(cls, p: int, k: int = 0) -> "PermutedDiagonalMatrix":
+        """The permutation matrix itself: ones on the ``k``-shifted diagonal."""
+        return cls(np.ones(p), k)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ``p x p`` array."""
+        dense = np.zeros((self.p, self.p))
+        rows = np.arange(self.p)
+        dense[rows, nonzero_column(rows, self.k, self.p)] = self.values
+        return dense
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``W @ x`` in ``O(p)``: ``y[c] = values[c] * x[(c+k) % p]``."""
+        x = np.asarray(x)
+        if x.shape != (self.p,):
+            raise ValueError(f"expected x of shape ({self.p},), got {x.shape}")
+        cols = nonzero_column(np.arange(self.p), self.k, self.p)
+        return self.values * x[cols]
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Compute ``W.T @ y`` in ``O(p)`` (used by backpropagation)."""
+        y = np.asarray(y)
+        if y.shape != (self.p,):
+            raise ValueError(f"expected y of shape ({self.p},), got {y.shape}")
+        cols = np.arange(self.p)
+        rows = nonzero_row(cols, self.k, self.p)
+        return self.values[rows] * y[rows]
+
+    def transpose(self) -> "PermutedDiagonalMatrix":
+        """The transpose is PD as well, with parameter ``(p - k) mod p``."""
+        k_t = (-self.k) % self.p
+        cols = np.arange(self.p)
+        rows = nonzero_row(cols, self.k, self.p)
+        return PermutedDiagonalMatrix(self.values[rows], k_t)
+
+    def inverse(self) -> "PermutedDiagonalMatrix":
+        """Exact inverse, which is again permuted diagonal.
+
+        Writing ``W = D P_k`` (diagonal times cyclic shift),
+        ``W^-1 = P_{-k} D^-1``: parameter ``(p - k) mod p`` and values
+        ``1 / values[(i - k) mod p]`` in row ``i``.
+
+        Raises:
+            ZeroDivisionError: if any stored value is zero (singular).
+        """
+        if np.any(self.values == 0):
+            raise ZeroDivisionError("singular permuted diagonal matrix")
+        rows = (np.arange(self.p) - self.k) % self.p
+        return PermutedDiagonalMatrix(1.0 / self.values[rows], -self.k)
+
+    def __matmul__(self, other):
+        """PD @ PD composes: parameters add modulo ``p``."""
+        if isinstance(other, PermutedDiagonalMatrix):
+            if other.p != self.p:
+                raise ValueError(
+                    f"size mismatch: {self.p} vs {other.p}"
+                )
+            # Row c of the product: values[c] * other row (c+k)%p, whose
+            # non-zero is at column (c + k + other.k) % p.
+            mid = nonzero_column(np.arange(self.p), self.k, self.p)
+            return PermutedDiagonalMatrix(
+                self.values * other.values[mid], self.k + other.k
+            )
+        if isinstance(other, np.ndarray) and other.ndim == 1:
+            return self.matvec(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PermutedDiagonalMatrix(p={self.p}, k={self.k})"

@@ -1,0 +1,131 @@
+"""Permutation-parameter selection and the index arithmetic of Eqn. (1).
+
+Every ``p x p`` permuted diagonal block is fully described by one integer
+``k`` (its *permutation parameter*): the block's non-zero in row ``c`` sits at
+column ``(c + k) mod p``.  For an ``m x n`` block-permuted diagonal matrix the
+blocks are indexed row-major as ``l = (i // p) * (n // p) + (j // p)``
+(Eqn. (1)), each with its own ``k_l``.
+
+The paper evaluates two ways of choosing ``k_l`` (Sec. III-D): *natural
+indexing* (``k_l = l mod p``, the setting used for all reported tables) and
+*random indexing*; both are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PermutationSpec",
+    "block_index",
+    "natural_permutation",
+    "nonzero_column",
+    "nonzero_row",
+    "random_permutation",
+]
+
+
+def natural_permutation(num_blocks: int, p: int) -> np.ndarray:
+    """Return natural-indexing permutation parameters ``k_l = l mod p``.
+
+    This mirrors the paper's example: "for a 4-by-16 block-permuted diagonal
+    weight matrix with p = 4, k0 ~ k3 is set as 0 ~ 3".
+
+    Args:
+        num_blocks: total number of ``p x p`` blocks (``(m/p) * (n/p)``).
+        p: block size; parameters are reduced modulo ``p``.
+
+    Returns:
+        Integer array of shape ``(num_blocks,)`` with values in ``[0, p)``.
+    """
+    if p <= 0:
+        raise ValueError(f"block size p must be positive, got {p}")
+    if num_blocks < 0:
+        raise ValueError(f"num_blocks must be non-negative, got {num_blocks}")
+    return np.arange(num_blocks, dtype=np.int64) % p
+
+
+def random_permutation(
+    num_blocks: int, p: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Return uniformly random permutation parameters in ``[0, p)``.
+
+    Args:
+        num_blocks: total number of blocks.
+        p: block size.
+        rng: :class:`numpy.random.Generator`, an integer seed, or ``None``
+            for a fresh default generator.
+    """
+    if p <= 0:
+        raise ValueError(f"block size p must be positive, got {p}")
+    if num_blocks < 0:
+        raise ValueError(f"num_blocks must be non-negative, got {num_blocks}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    return rng.integers(0, p, size=num_blocks, dtype=np.int64)
+
+
+def block_index(i: int, j: int, p: int, n: int) -> int:
+    """Row-major index ``l`` of the block containing entry ``(i, j)``.
+
+    Implements ``l = (i // p) * (n // p) + (j // p)`` from Eqn. (1).
+
+    Args:
+        i: row index in the full matrix.
+        j: column index in the full matrix.
+        p: block size.
+        n: number of columns of the full matrix (must be a multiple of ``p``).
+    """
+    if n % p != 0:
+        raise ValueError(f"n={n} must be a multiple of p={p} (pad first)")
+    return (i // p) * (n // p) + (j // p)
+
+
+def nonzero_column(c: int | np.ndarray, k: int | np.ndarray, p: int):
+    """Column (within a block) of the non-zero entry in row ``c``.
+
+    From Eqn. (1): the entry ``(c, d)`` is non-zero iff
+    ``(c + k) mod p == d``.
+    """
+    return (c + k) % p
+
+
+def nonzero_row(d: int | np.ndarray, k: int | np.ndarray, p: int):
+    """Row (within a block) of the non-zero entry in column ``d``.
+
+    Inverse of :func:`nonzero_column`: ``c = (d + p - k) mod p``, exactly the
+    index calculation the paper's accumulation selector performs in hardware
+    (Fig. 9: "modulo operation between the sum of permutation value and
+    column index and the size p").
+    """
+    return (d + p - np.asarray(k) % p) % p
+
+
+@dataclass(frozen=True)
+class PermutationSpec:
+    """How to pick per-block permutation parameters for a layer.
+
+    Attributes:
+        scheme: ``"natural"`` (paper default for all tables) or ``"random"``.
+        seed: seed used when ``scheme == "random"``; ignored otherwise.
+    """
+
+    scheme: str = "natural"
+    seed: int | None = None
+
+    _SCHEMES = ("natural", "random")
+
+    def __post_init__(self) -> None:
+        if self.scheme not in self._SCHEMES:
+            raise ValueError(
+                f"unknown permutation scheme {self.scheme!r}; "
+                f"expected one of {self._SCHEMES}"
+            )
+
+    def generate(self, num_blocks: int, p: int) -> np.ndarray:
+        """Materialize the ``k_l`` array for ``num_blocks`` blocks of size ``p``."""
+        if self.scheme == "natural":
+            return natural_permutation(num_blocks, p)
+        return random_permutation(num_blocks, p, rng=self.seed)

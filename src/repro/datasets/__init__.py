@@ -1,0 +1,25 @@
+"""Synthetic dataset substitutes for the paper's benchmarks.
+
+No network access and no licensed corpora are available offline, so each of
+the paper's datasets is replaced by a procedurally generated stand-in of the
+same tensor shape and task type (see DESIGN.md for the substitution table):
+
+- ImageNet feature task  -> :class:`GaussianMixtureDataset`
+- MNIST                  -> :func:`make_digits` (procedural digit glyphs)
+- CIFAR-10               -> :func:`make_cifar_like` (procedural 3x32x32)
+- IWSLT'15 En-Vi         -> :class:`TranslationCorpus` (synthetic rule-based
+  translation language pair)
+"""
+
+from repro.datasets.gaussian import GaussianMixtureDataset
+from repro.datasets.digits import make_digits
+from repro.datasets.cifar_like import make_cifar_like
+from repro.datasets.translation import TranslationCorpus, Vocabulary
+
+__all__ = [
+    "GaussianMixtureDataset",
+    "TranslationCorpus",
+    "Vocabulary",
+    "make_cifar_like",
+    "make_digits",
+]

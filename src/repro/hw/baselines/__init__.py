@@ -1,0 +1,17 @@
+"""Comparison engines: EIE (unstructured sparse) and CirCNN (circulant)."""
+
+from repro.hw.baselines.eie import EIE_DESIGN_45NM, EIEConfig, EIESimulator
+from repro.hw.baselines.circnn import (
+    CIRCNN_DESIGN_45NM,
+    CirCNNConfig,
+    CirCNNSimulator,
+)
+
+__all__ = [
+    "CIRCNN_DESIGN_45NM",
+    "CirCNNConfig",
+    "CirCNNSimulator",
+    "EIEConfig",
+    "EIESimulator",
+    "EIE_DESIGN_45NM",
+]

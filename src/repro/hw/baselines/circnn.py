@@ -1,0 +1,157 @@
+"""CirCNN simulator: the block-circulant FFT accelerator (Ding et al., MICRO'17).
+
+CirCNN computes ``W_ij x_j = IFFT(FFT(w_ij) o FFT(x_j))`` per ``k x k``
+circulant block.  The two properties PermDNN's comparison charges it for
+(Sec. III-H / Table XI):
+
+1. **complex arithmetic** -- one complex multiply costs 4 real multiplies
+   (+2 adds), so a silicon budget of ``n_real_mul`` real multipliers
+   sustains only ``n_real_mul / 4`` complex multiplies per cycle;
+2. **no input sparsity** -- inputs are transformed to the frequency domain,
+   where time-domain zeros vanish; every column is processed.
+
+Cycle model: element-wise stage needs ``(m/k)(n/k) k`` complex multiplies
+per inference; the FFT/IFFT stages add ``(n/k + m/k) (k/2) log2 k``
+butterflies (each one complex multiply).  With weight FFTs precomputed
+offline (CirCNN does this) only input FFTs and output IFFTs appear.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.perf import PerformanceReport, equivalent_dense_ops
+from repro.hw.technology import DesignPoint, project_design
+
+__all__ = ["CIRCNN_DESIGN_45NM", "CirCNNConfig", "CirCNNSimulator"]
+
+# Published CirCNN numbers (Table XI, "reported" column).  CirCNN reported
+# synthesis results only: no area, 0.08 W, 200 MHz, 0.8 equivalent TOPS.
+CIRCNN_DESIGN_45NM = DesignPoint(
+    name="CirCNN",
+    tech_nm=45,
+    clock_ghz=0.2,
+    area_mm2=None,
+    power_w=0.08,
+)
+
+
+@dataclass(frozen=True)
+class CirCNNConfig:
+    """CirCNN datapath parameters.
+
+    Attributes:
+        n_real_mul: real-multiplier budget per cycle (equalized to the
+            PermDNN engine's multiplier count for mechanism comparisons).
+        clock_ghz: clock frequency.
+        power_w: power.
+        fft_precomputed_weights: weight FFTs stored offline (CirCNN's
+            deployment mode).
+    """
+
+    n_real_mul: int = 256
+    clock_ghz: float = 0.2
+    power_w: float = 0.08
+    fft_precomputed_weights: bool = True
+
+    @staticmethod
+    def projected_28nm(n_real_mul: int = 256) -> "CirCNNConfig":
+        point = project_design(CIRCNN_DESIGN_45NM, 28)
+        return CirCNNConfig(
+            n_real_mul=n_real_mul,
+            clock_ghz=point.clock_ghz,
+            power_w=point.power_w,
+        )
+
+
+@dataclass
+class CirCNNResult:
+    """Outcome of one CirCNN layer execution."""
+
+    output: np.ndarray
+    cycles: int
+    complex_mults: int
+    real_mult_ops: int  # 4x complex
+    input_sparsity_wasted: float  # fraction of zero inputs it could not skip
+
+
+class CirCNNSimulator:
+    """Functional + cycle model of block-circulant FFT execution."""
+
+    def __init__(self, config: CirCNNConfig | None = None) -> None:
+        self.config = config or CirCNNConfig.projected_28nm()
+        if self.config.n_real_mul < 4:
+            raise ValueError("need at least 4 real multipliers (1 complex)")
+
+    def run_fc_layer(
+        self, first_columns: np.ndarray, x: np.ndarray
+    ) -> CirCNNResult:
+        """Execute a block-circulant ``a = W x``.
+
+        Args:
+            first_columns: array ``(mb, nb, k)`` -- the defining first column
+                of every circulant block (CirCNN's stored representation).
+            x: dense input of length ``nb * k`` (or shorter; zero-padded).
+
+        Returns:
+            Functional output plus the cycle/operation accounting.
+        """
+        first_columns = np.asarray(first_columns, dtype=np.float64)
+        if first_columns.ndim != 3:
+            raise ValueError(
+                f"expected (mb, nb, k) block array, got {first_columns.shape}"
+            )
+        mb, nb, k = first_columns.shape
+        x = np.asarray(x, dtype=np.float64)
+        if x.size > nb * k:
+            raise ValueError(f"input longer than {nb * k}")
+        x_pad = np.zeros(nb * k)
+        x_pad[: x.size] = x
+
+        # functional: frequency-domain block processing (CirCNN's dataflow)
+        xf = np.fft.rfft(x_pad.reshape(nb, k), axis=1)
+        wf = np.fft.rfft(first_columns, axis=2)
+        yf = np.einsum("ijf,jf->if", wf, xf)
+        y = np.fft.irfft(yf, n=k, axis=1).reshape(mb * k)
+
+        # cycle model: complex multiplies through n_real_mul/4 complex lanes
+        elementwise = mb * nb * k
+        butterflies = 0
+        if k > 1:
+            stage = (k // 2) * int(math.log2(k)) if (k & (k - 1)) == 0 else k * int(
+                math.ceil(math.log2(k))
+            )
+            butterflies = (nb + mb) * stage  # input FFTs + output IFFTs
+            if not self.config.fft_precomputed_weights:
+                butterflies += mb * nb * stage
+        complex_mults = elementwise + butterflies
+        complex_lanes = self.config.n_real_mul // 4
+        cycles = math.ceil(complex_mults / complex_lanes)
+        wasted = float((x_pad == 0).mean())
+        return CirCNNResult(
+            output=y,
+            cycles=cycles,
+            complex_mults=complex_mults,
+            real_mult_ops=4 * complex_mults,
+            input_sparsity_wasted=wasted,
+        )
+
+    def performance(
+        self,
+        result: CirCNNResult,
+        workload_shape: tuple[int, int],
+        name: str = "CirCNN",
+    ) -> PerformanceReport:
+        m, n = workload_shape
+        return PerformanceReport(
+            name=name,
+            cycles=result.cycles,
+            clock_ghz=self.config.clock_ghz,
+            compressed_ops=2 * result.complex_mults,
+            dense_ops=equivalent_dense_ops(m, n),
+            power_w=self.config.power_w,
+            area_mm2=None,
+        )

@@ -1,0 +1,203 @@
+"""EIE simulator: the unstructured-sparse FC accelerator (Han et al., ISCA'16).
+
+EIE stores pruned weights in a CSC-like format (4-bit virtual weight +
+4-bit relative row index), interleaves matrix rows across 64 PEs, and
+broadcasts each non-zero input activation; every PE then walks its own
+slice of that column at one MAC per cycle.  Because the non-zeros of an
+unstructured matrix are distributed unevenly, the PE with the most work
+gates progress -- the **load imbalance** PermDNN's structure eliminates.
+Activation FIFOs decouple PEs from the broadcast, hiding imbalance only
+within a ``fifo_depth`` window.
+
+The cycle model here is an exact event simulation of that scheme:
+
+- ``start_p(j) = max(finish_p(j-1), broadcast(j))``
+- ``finish_p(j) = start_p(j) + count_p(j)``
+- ``broadcast(j)`` stalls until every PE has FIFO space, i.e. until all
+  PEs have *started* column ``j - fifo_depth``.
+
+With ``fifo_depth=1`` this degenerates to per-column synchronization
+(``sum_j max_p count_p(j)``); with unbounded FIFOs it approaches the
+load-balance bound (``max_p sum_j count_p(j)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.hw.perf import PerformanceReport, equivalent_dense_ops
+from repro.hw.technology import DesignPoint, project_design
+
+__all__ = ["EIEConfig", "EIESimulator", "EIE_DESIGN_45NM"]
+
+# Published EIE headline numbers (Table X, "reported" column).
+EIE_DESIGN_45NM = DesignPoint(
+    name="EIE",
+    tech_nm=45,
+    clock_ghz=0.8,
+    area_mm2=40.8,
+    power_w=0.59,
+)
+
+
+@dataclass(frozen=True)
+class EIEConfig:
+    """EIE microarchitecture parameters.
+
+    Attributes:
+        n_pe: processing elements (64 in the paper's design).
+        fifo_depth: activation-FIFO depth decoupling PEs from broadcast.
+        weight_bits: virtual weight tag width (4).
+        index_bits: relative row index width (4).
+        pointer_overhead_cycles: cycles each PE spends fetching its CSC
+            column-pointer pair per broadcast activation.  EIE reads two
+            pointer banks before any MAC of a column can issue; this is
+            the per-column address-calculation overhead PermDNN's modulo
+            addressing eliminates.
+        clock_ghz: clock frequency (projected to 28 nm by default).
+        power_w: total power.
+        area_mm2: die area (projected).
+    """
+
+    n_pe: int = 64
+    fifo_depth: int = 8
+    weight_bits: int = 4
+    index_bits: int = 4
+    pointer_overhead_cycles: int = 1
+    clock_ghz: float = field(default=0.0)
+    power_w: float = 0.59
+    area_mm2: float = 0.0
+
+    @staticmethod
+    def projected_28nm(
+        fifo_depth: int = 8, pointer_overhead_cycles: int = 1
+    ) -> "EIEConfig":
+        """The paper's comparison point: EIE projected from 45 to 28 nm."""
+        point = project_design(EIE_DESIGN_45NM, 28)
+        return EIEConfig(
+            n_pe=64,
+            fifo_depth=fifo_depth,
+            pointer_overhead_cycles=pointer_overhead_cycles,
+            clock_ghz=point.clock_ghz,
+            power_w=point.power_w,
+            area_mm2=point.area_mm2,
+        )
+
+
+@dataclass
+class EIEResult:
+    """Outcome of one EIE layer execution."""
+
+    output: np.ndarray
+    cycles: int
+    macs: int
+    nonzero_columns: int
+    load_imbalance: float  # cycles / load-balance lower bound
+    storage_bits: int
+
+
+class EIESimulator:
+    """Event-accurate EIE model executing an unstructured sparse M x V."""
+
+    def __init__(self, config: EIEConfig | None = None) -> None:
+        self.config = config or EIEConfig.projected_28nm()
+        if self.config.clock_ghz <= 0:
+            raise ValueError(
+                "EIEConfig needs a clock; use EIEConfig.projected_28nm()"
+            )
+
+    def run_fc_layer(self, weight: sparse.spmatrix, x: np.ndarray) -> EIEResult:
+        """Execute ``a = W x`` for a sparse ``W`` and (sparse-ish) ``x``.
+
+        Args:
+            weight: any scipy sparse matrix of shape ``(m, n)``.
+            x: dense input vector; zeros are skipped by the broadcast unit.
+        """
+        weight = sparse.csc_matrix(weight)
+        x = np.asarray(x, dtype=np.float64)
+        m, n = weight.shape
+        if x.shape != (n,):
+            raise ValueError(f"expected input of shape ({n},), got {x.shape}")
+        output = weight @ x
+
+        nonzero_cols = np.flatnonzero(x)
+        counts = self._per_pe_column_counts(weight, nonzero_cols)
+        macs = int(counts.sum())
+        # every PE pays the column-pointer fetch for every broadcast
+        work = counts + self.config.pointer_overhead_cycles
+        cycles = self._event_simulate(work)
+        balance_bound = int(counts.sum(axis=0).max()) if counts.size else 0
+        imbalance = cycles / balance_bound if balance_bound else 1.0
+        storage = weight.nnz * (
+            self.config.weight_bits + self.config.index_bits
+        ) + n * 32  # column pointers
+        return EIEResult(
+            output=output,
+            cycles=cycles,
+            macs=macs,
+            nonzero_columns=nonzero_cols.size,
+            load_imbalance=imbalance,
+            storage_bits=int(storage),
+        )
+
+    def _per_pe_column_counts(
+        self, weight: sparse.csc_matrix, nonzero_cols: np.ndarray
+    ) -> np.ndarray:
+        """``counts[j_idx, pe]``: weights PE must process for each column."""
+        n_pe = self.config.n_pe
+        counts = np.zeros((nonzero_cols.size, n_pe), dtype=np.int64)
+        indptr, indices = weight.indptr, weight.indices
+        for j_idx, col in enumerate(nonzero_cols):
+            rows = indices[indptr[col] : indptr[col + 1]]
+            counts[j_idx] = np.bincount(rows % n_pe, minlength=n_pe)
+        return counts
+
+    def _event_simulate(self, counts: np.ndarray) -> int:
+        """Exact start/finish recurrence described in the module docstring."""
+        if counts.size == 0:
+            return 0
+        num_cols, n_pe = counts.shape
+        depth = self.config.fifo_depth
+        finish = np.zeros(n_pe)
+        starts = np.zeros((num_cols, n_pe))
+        for j in range(num_cols):
+            broadcast = starts[j - depth].max() if j >= depth else 0.0
+            start = np.maximum(finish, broadcast)
+            starts[j] = start
+            finish = start + counts[j]
+        return int(finish.max())
+
+    def performance(
+        self, result: EIEResult, workload_shape: tuple[int, int], name: str = "EIE"
+    ) -> PerformanceReport:
+        m, n = workload_shape
+        return PerformanceReport(
+            name=name,
+            cycles=result.cycles,
+            clock_ghz=self.config.clock_ghz,
+            compressed_ops=2 * result.macs,
+            dense_ops=equivalent_dense_ops(m, n),
+            power_w=self.config.power_w,
+            area_mm2=self.config.area_mm2,
+        )
+
+    @staticmethod
+    def prune_reference(
+        dense_shape: tuple[int, int],
+        density: float,
+        rng: np.random.Generator | int | None = 0,
+    ) -> sparse.csc_matrix:
+        """A random unstructured sparse matrix at the given density
+        (the magnitude-pruned models EIE executes)."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        m, n = dense_shape
+        nnz = int(round(m * n * density))
+        flat = rng.choice(m * n, size=nnz, replace=False)
+        rows, cols = np.unravel_index(flat, (m, n))
+        values = rng.normal(size=nnz)
+        return sparse.csc_matrix((values, (rows, cols)), shape=(m, n))

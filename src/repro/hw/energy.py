@@ -1,0 +1,170 @@
+"""Parametric area/power model calibrated to the paper's Table IX.
+
+The paper reports synthesis/P&R results at CMOS 28 nm, 1.2 GHz:
+
+========================  ===========  ==========
+PE component              power (mW)   area (mm2)
+========================  ===========  ==========
+Memory (SRAMs)            3.575        0.178
+Register (accumulators)   4.755        0.010
+Combinational             10.48        0.015
+Clock network             3.064        0.0005
+Filler cell               --           0.0678
+Total per PE              21.874       0.271
+========================  ===========  ==========
+
+Engine: 32 PEs = 700 mW / 8.67 mm2, others 3.4 mW / 0.18 mm2,
+total 703.4 mW / 8.85 mm2.
+
+We turn those into *densities* (power per SRAM bit accessed, area per SRAM
+bit, power/area per multiplier-bit, per accumulator-bit...) anchored at the
+default :class:`~repro.hw.config.PEConfig`.  Scaling the configuration
+(more multipliers, more PEs, bigger SRAM) then produces first-order-correct
+projections, and the default configuration reproduces Table IX exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import EngineConfig, PEConfig
+
+__all__ = ["AreaPowerModel", "EngineBreakdown", "PEBreakdown"]
+
+# Published calibration numbers (Table IX), 28 nm @ 1.2 GHz.
+_REF = PEConfig()
+_REF_PE_POWER_MW = {
+    "memory": 3.575,
+    "register": 4.755,
+    "combinational": 10.48,
+    "clock": 3.064,
+}
+_REF_PE_AREA_MM2 = {
+    "memory": 0.178,
+    "register": 0.01,
+    "combinational": 0.015,
+    "clock": 0.0005,
+    "filler": 0.0678,
+}
+_REF_ENGINE_OTHERS_POWER_MW = 3.4
+_REF_ENGINE_OTHERS_AREA_MM2 = 0.18
+_REF_CLOCK_GHZ = 1.2
+
+# Synthesis-report design point (pre-place-and-route, Table XI).  CirCNN
+# only published synthesis results, so the paper's Table XI quotes
+# PermDNN's synthesis numbers too: 6.64 mm2 and 0.236 W at 1.2 GHz --
+# smaller than the P&R numbers because clock tree, filler cells and
+# routing parasitics are absent before layout.
+SYNTHESIS_AREA_MM2 = 6.64
+SYNTHESIS_POWER_W = 0.236
+
+
+@dataclass(frozen=True)
+class PEBreakdown:
+    """Per-PE power (mW) and area (mm2) by component."""
+
+    power_mw: dict[str, float]
+    area_mm2: dict[str, float]
+
+    @property
+    def total_power_mw(self) -> float:
+        return sum(self.power_mw.values())
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(self.area_mm2.values())
+
+
+@dataclass(frozen=True)
+class EngineBreakdown:
+    """Whole-engine power/area: PE array plus shared logic."""
+
+    pe: PEBreakdown
+    n_pe: int
+    others_power_mw: float
+    others_area_mm2: float
+
+    @property
+    def total_power_w(self) -> float:
+        return (self.pe.total_power_mw * self.n_pe + self.others_power_mw) / 1e3
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.pe.total_area_mm2 * self.n_pe + self.others_area_mm2
+
+
+class AreaPowerModel:
+    """Scale the Table IX breakdown to arbitrary configurations.
+
+    Scaling rules (first order):
+
+    - *memory*: area tracks total SRAM bits; dynamic power tracks bits
+      accessed per cycle (one weight sub-bank row + permutation row).
+    - *register*: tracks accumulator bits (``n_acc * acc_width``).
+    - *combinational*: tracks multiplier count (multiplier array dominates;
+      selectors scale with ``n_mul`` too).
+    - *clock network*: tracks clocked elements, approximated by the
+      register term.
+    - dynamic power scales linearly with clock frequency.
+    """
+
+    def __init__(self, reference_clock_ghz: float = _REF_CLOCK_GHZ) -> None:
+        self.reference_clock_ghz = reference_clock_ghz
+
+    # -- scaling helpers -------------------------------------------------
+
+    @staticmethod
+    def _sram_bits(pe: PEConfig) -> int:
+        return pe.weight_sram_bits + pe.perm_sram_bits
+
+    @staticmethod
+    def _sram_access_bits(pe: PEConfig) -> int:
+        # per cycle: one row of the active weight sub-bank + one perm row
+        return pe.weight_sram_width + pe.perm_sram_width
+
+    @staticmethod
+    def _register_bits(pe: PEConfig) -> int:
+        return pe.n_acc * pe.acc_width
+
+    def pe_breakdown(self, pe: PEConfig, clock_ghz: float = _REF_CLOCK_GHZ) -> PEBreakdown:
+        """Power/area for one PE at the given clock."""
+        freq_scale = clock_ghz / self.reference_clock_ghz
+        mem_scale_area = self._sram_bits(pe) / self._sram_bits(_REF)
+        mem_scale_power = self._sram_access_bits(pe) / self._sram_access_bits(_REF)
+        reg_scale = self._register_bits(pe) / self._register_bits(_REF)
+        comb_scale = (pe.n_mul * pe.mul_width**2) / (_REF.n_mul * _REF.mul_width**2)
+        power = {
+            "memory": _REF_PE_POWER_MW["memory"] * mem_scale_power * freq_scale,
+            "register": _REF_PE_POWER_MW["register"] * reg_scale * freq_scale,
+            "combinational": _REF_PE_POWER_MW["combinational"]
+            * comb_scale
+            * freq_scale,
+            "clock": _REF_PE_POWER_MW["clock"] * reg_scale * freq_scale,
+        }
+        area = {
+            "memory": _REF_PE_AREA_MM2["memory"] * mem_scale_area,
+            "register": _REF_PE_AREA_MM2["register"] * reg_scale,
+            "combinational": _REF_PE_AREA_MM2["combinational"] * comb_scale,
+            "clock": _REF_PE_AREA_MM2["clock"] * reg_scale,
+            "filler": _REF_PE_AREA_MM2["filler"]
+            * (0.5 * mem_scale_area + 0.5 * comb_scale),
+        }
+        return PEBreakdown(power, area)
+
+    def engine_breakdown(self, config: EngineConfig) -> EngineBreakdown:
+        """Power/area for the whole computing engine."""
+        pe = self.pe_breakdown(config.pe, config.clock_ghz)
+        shared_scale = config.n_pe / 32  # activation SRAM/routing grow with PEs
+        freq_scale = config.clock_ghz / self.reference_clock_ghz
+        return EngineBreakdown(
+            pe=pe,
+            n_pe=config.n_pe,
+            others_power_mw=_REF_ENGINE_OTHERS_POWER_MW * shared_scale * freq_scale,
+            others_area_mm2=_REF_ENGINE_OTHERS_AREA_MM2 * shared_scale,
+        )
+
+    def engine_power_w(self, config: EngineConfig) -> float:
+        return self.engine_breakdown(config).total_power_w
+
+    def engine_area_mm2(self, config: EngineConfig) -> float:
+        return self.engine_breakdown(config).total_area_mm2

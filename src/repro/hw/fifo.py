@@ -1,0 +1,57 @@
+"""Activation FIFO model (Fig. 6: backlog of non-zero activations)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["FIFO"]
+
+
+class FIFO:
+    """Bounded FIFO with occupancy and stall accounting.
+
+    The engine's activation FIFO "builds up a backlog for the non-zero x_i's,
+    ensuring that the PEs can always receive their required x_i in time".
+    We track pushes, pops, peak occupancy and stalls (pop on empty / push on
+    full) so tests can assert the backlog behaves.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._items: deque = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.push_stalls = 0
+        self.pop_stalls = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item) -> bool:
+        """Push; returns False (and counts a stall) when full."""
+        if self.full:
+            self.push_stalls += 1
+            return False
+        self._items.append(item)
+        self.pushes += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+        return True
+
+    def pop(self):
+        """Pop; returns None (and counts a stall) when empty."""
+        if self.empty:
+            self.pop_stalls += 1
+            return None
+        self.pops += 1
+        return self._items.popleft()

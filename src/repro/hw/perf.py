@@ -1,0 +1,92 @@
+"""Throughput / efficiency metrics (the axes of Fig. 12 and Tables X-XI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PerformanceReport", "equivalent_dense_ops"]
+
+
+def equivalent_dense_ops(m: int, n: int) -> int:
+    """Operations an *uncompressed* dense FC layer would need (2 per MAC).
+
+    Both the paper and EIE report "equivalent" throughput: the dense work a
+    compressed execution stands in for.
+    """
+    return 2 * m * n
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """Headline numbers for one engine executing one workload.
+
+    Attributes:
+        name: engine/workload label.
+        cycles: simulated cycle count.
+        clock_ghz: clock frequency.
+        compressed_ops: arithmetic ops actually performed (2 x MACs).
+        dense_ops: ops of the equivalent dense layer.
+        power_w: engine power.
+        area_mm2: engine area (``None`` if unreported).
+    """
+
+    name: str
+    cycles: int
+    clock_ghz: float
+    compressed_ops: int
+    dense_ops: int
+    power_w: float
+    area_mm2: float | None = None
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def latency_us(self) -> float:
+        return self.time_s * 1e6
+
+    @property
+    def gops(self) -> float:
+        """Compressed-domain throughput in GOPS."""
+        return self.compressed_ops / self.time_s / 1e9
+
+    @property
+    def equivalent_gops(self) -> float:
+        """Dense-equivalent throughput in GOPS (the paper's headline unit)."""
+        return self.dense_ops / self.time_s / 1e9
+
+    @property
+    def frames_per_second(self) -> float:
+        return 1.0 / self.time_s
+
+    @property
+    def gops_per_watt(self) -> float:
+        """Energy efficiency on dense-equivalent ops."""
+        return self.equivalent_gops / self.power_w
+
+    @property
+    def gops_per_mm2(self) -> float:
+        """Area efficiency on dense-equivalent ops."""
+        if self.area_mm2 is None:
+            raise ValueError(f"{self.name}: area unknown")
+        return self.equivalent_gops / self.area_mm2
+
+    @property
+    def energy_j(self) -> float:
+        return self.power_w * self.time_s
+
+    def speedup_over(self, other: "PerformanceReport") -> float:
+        """Throughput ratio on the same workload (frames/s ratio)."""
+        if self.dense_ops != other.dense_ops:
+            raise ValueError(
+                "speedup comparison requires the same workload "
+                f"({self.dense_ops} vs {other.dense_ops} dense ops)"
+            )
+        return other.time_s / self.time_s
+
+    def area_efficiency_ratio(self, other: "PerformanceReport") -> float:
+        return self.gops_per_mm2 / other.gops_per_mm2
+
+    def energy_efficiency_ratio(self, other: "PerformanceReport") -> float:
+        return self.gops_per_watt / other.gops_per_watt

@@ -1,0 +1,73 @@
+"""SRAM bank and access-counting models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SRAMBank", "SRAMStats"]
+
+
+@dataclass
+class SRAMStats:
+    """Access counters for one SRAM."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+@dataclass
+class SRAMBank:
+    """A banked SRAM with capacity checking and access counting.
+
+    Attributes:
+        name: label for reports.
+        banks: number of independently addressable banks (one row per bank
+            per cycle).
+        width: row width in bits.
+        depth: rows per bank.
+    """
+
+    name: str
+    banks: int
+    width: int
+    depth: int
+    stats: SRAMStats = field(default_factory=SRAMStats)
+
+    @property
+    def total_bits(self) -> int:
+        return self.banks * self.width * self.depth
+
+    @property
+    def total_kilobytes(self) -> float:
+        return self.total_bits / 8 / 1024
+
+    def capacity_words(self, word_bits: int) -> int:
+        """How many ``word_bits``-wide values fit in total."""
+        if word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        return self.total_bits // word_bits
+
+    def check_fits(self, words: int, word_bits: int) -> None:
+        """Raise if ``words`` values of ``word_bits`` overflow the SRAM.
+
+        This is the "over-design strategy" check: the paper sizes the weight
+        SRAM so a 32-PE engine holds an 8M-parameter compressed layer.
+        """
+        if words > self.capacity_words(word_bits):
+            raise ValueError(
+                f"{self.name}: {words} x {word_bits}b does not fit in "
+                f"{self.total_bits} bits"
+            )
+
+    def read(self, rows: int = 1) -> None:
+        self.stats.reads += rows
+
+    def write(self, rows: int = 1) -> None:
+        self.stats.writes += rows
+
+    def reset_stats(self) -> None:
+        self.stats = SRAMStats()

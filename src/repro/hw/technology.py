@@ -1,0 +1,52 @@
+"""Technology-node projection (footnote 10 of the paper).
+
+When comparing against designs reported at 45 nm (EIE, CirCNN), the paper
+projects them to its own 28 nm node with the rule EIE itself used:
+*linear scaling for frequency, quadratic scaling for area, constant power*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DesignPoint", "project_design"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A published design's headline numbers at some technology node.
+
+    Attributes:
+        name: label for reports.
+        tech_nm: technology node in nanometres.
+        clock_ghz: clock frequency.
+        area_mm2: die area (``None`` when unreported, e.g. CirCNN).
+        power_w: power.
+    """
+
+    name: str
+    tech_nm: int
+    clock_ghz: float
+    area_mm2: float | None
+    power_w: float
+
+
+def project_design(point: DesignPoint, target_nm: int) -> DesignPoint:
+    """Project a design point to another node.
+
+    Linear frequency (f x from/to), quadratic area (A x (to/from)^2),
+    constant power.
+
+    Returns:
+        A new :class:`DesignPoint` at ``target_nm``.
+    """
+    if point.tech_nm <= 0 or target_nm <= 0:
+        raise ValueError("technology nodes must be positive")
+    ratio = point.tech_nm / target_nm
+    return DesignPoint(
+        name=f"{point.name}@{target_nm}nm",
+        tech_nm=target_nm,
+        clock_ghz=point.clock_ghz * ratio,
+        area_mm2=None if point.area_mm2 is None else point.area_mm2 / ratio**2,
+        power_w=point.power_w,
+    )

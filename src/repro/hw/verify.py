@@ -1,0 +1,50 @@
+"""Functional verification of the simulators against numpy golden models.
+
+Mirrors the paper's methodology: the cycle-accurate simulator "serves as
+the golden reference for the correctness of Verilog implementation"; here
+the *numpy linear algebra* is the golden reference for the simulators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BlockPermutedDiagonalMatrix
+from repro.hw.engine import PermDNNEngine
+
+__all__ = ["verify_engine", "verify_against_golden"]
+
+
+def verify_against_golden(
+    simulated: np.ndarray, golden: np.ndarray, atol: float = 1e-10
+) -> float:
+    """Return the max absolute error; raise if above tolerance."""
+    simulated = np.asarray(simulated)
+    golden = np.asarray(golden)
+    if simulated.shape != golden.shape:
+        raise AssertionError(
+            f"shape mismatch: {simulated.shape} vs {golden.shape}"
+        )
+    err = float(np.abs(simulated - golden).max())
+    if err > atol:
+        raise AssertionError(f"simulator output diverges from golden: {err}")
+    return err
+
+
+def verify_engine(
+    engine: PermDNNEngine,
+    matrix: BlockPermutedDiagonalMatrix,
+    x: np.ndarray,
+    activation: str | None = None,
+) -> float:
+    """Run the engine and bit-compare with the numpy reference.
+
+    Returns the max absolute error (0.0 for the float datapath).
+    """
+    result = engine.run_fc_layer(matrix, x, activation=activation)
+    golden = matrix.matvec(np.asarray(x, dtype=np.float64))
+    if activation == "relu":
+        golden = np.maximum(golden, 0.0)
+    elif activation == "tanh":
+        golden = np.tanh(golden)
+    return verify_against_golden(result.output, golden)

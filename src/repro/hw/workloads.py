@@ -1,0 +1,95 @@
+"""The paper's six benchmark FC layers (Table VII).
+
+============  =============  ===========  ============
+Layer         size (m, n)    weight dens  act density
+============  =============  ===========  ============
+Alex-FC6      4096 x 9216    10% (p=10)   35.8%
+Alex-FC7      4096 x 4096    10% (p=10)   20.6%
+Alex-FC8      1000 x 4096    25% (p=4)    44.4%
+NMT-1         2048 x 1024    12.5% (p=8)  100%
+NMT-2         2048 x 1536    12.5% (p=8)  100%
+NMT-3         2048 x 2048    12.5% (p=8)  100%
+============  =============  ===========  ============
+
+(The paper's "sparsity ratio" columns report densities; lower = sparser,
+its footnote 8.)  NMT layers see dense inputs (LSTM gate activations), so
+zero-skipping only helps the AlexNet layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import BlockPermutedDiagonalMatrix
+
+__all__ = ["TABLE_VII_WORKLOADS", "Workload", "make_workload_instance"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark FC layer.
+
+    Attributes:
+        name: paper's layer label.
+        m: output dimension.
+        n: input dimension.
+        p: PD block size (weight density is ``1/p``).
+        activation_density: fraction of non-zero input entries.
+        description: provenance note.
+    """
+
+    name: str
+    m: int
+    n: int
+    p: int
+    activation_density: float
+    description: str = ""
+
+    @property
+    def weight_density(self) -> float:
+        return 1.0 / self.p
+
+    @property
+    def dense_ops(self) -> int:
+        return 2 * self.m * self.n
+
+    @property
+    def compressed_macs(self) -> int:
+        """MACs a zero-skipping PD engine performs on average."""
+        nonzero_columns = int(round(self.n * self.activation_density))
+        return nonzero_columns * (self.m // self.p)
+
+
+TABLE_VII_WORKLOADS: tuple[Workload, ...] = (
+    Workload("Alex-FC6", 4096, 9216, 10, 0.358, "CNN image classification"),
+    Workload("Alex-FC7", 4096, 4096, 10, 0.206, "CNN image classification"),
+    Workload("Alex-FC8", 1000, 4096, 4, 0.444, "CNN image classification"),
+    Workload("NMT-1", 2048, 1024, 8, 1.0, "RNN language translation"),
+    Workload("NMT-2", 2048, 1536, 8, 1.0, "RNN language translation"),
+    Workload("NMT-3", 2048, 2048, 8, 1.0, "RNN language translation"),
+)
+
+
+def make_workload_instance(
+    workload: Workload, rng: np.random.Generator | int | None = 0
+) -> tuple[BlockPermutedDiagonalMatrix, np.ndarray]:
+    """Materialize a workload: a PD weight matrix and an input vector.
+
+    The input has exactly ``round(n * activation_density)`` non-zero
+    entries at random positions (the statistical sparsity of Table VII).
+
+    Returns:
+        ``(matrix, x)``.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    matrix = BlockPermutedDiagonalMatrix.random(
+        (workload.m, workload.n), workload.p, rng=rng
+    )
+    x = np.zeros(workload.n)
+    nnz = int(round(workload.n * workload.activation_density))
+    positions = rng.choice(workload.n, size=nnz, replace=False)
+    x[positions] = rng.normal(size=nnz)
+    return matrix, x

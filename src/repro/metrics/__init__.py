@@ -1,0 +1,21 @@
+"""Evaluation metrics: accuracy, BLEU, compression and sparsity accounting."""
+
+from repro.metrics.accuracy import top_k_accuracy
+from repro.metrics.bleu import corpus_bleu, sentence_bleu
+from repro.metrics.compression import (
+    LayerStorage,
+    ModelStorageReport,
+    model_storage_report,
+)
+from repro.metrics.sparsity import activation_sparsity, weight_sparsity
+
+__all__ = [
+    "LayerStorage",
+    "ModelStorageReport",
+    "activation_sparsity",
+    "corpus_bleu",
+    "model_storage_report",
+    "sentence_bleu",
+    "top_k_accuracy",
+    "weight_sparsity",
+]

@@ -1,0 +1,26 @@
+"""Classification accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_accuracy"]
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose label is among the top-``k`` logits.
+
+    The paper reports top-5 accuracy for AlexNet (Table II) and top-1 for
+    the CIFAR models (Tables IV/V).
+    """
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"expected logits (B, C) and labels (B,), got "
+            f"{logits.shape} and {labels.shape}"
+        )
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k={k} out of range for {logits.shape[1]} classes")
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((top == labels[:, None]).any(axis=1).mean())

@@ -1,0 +1,87 @@
+"""BLEU score (Papineni et al., 2002) for the NMT experiment (Table III).
+
+Corpus-level BLEU with modified n-gram precision (n = 1..4 by default),
+geometric mean, brevity penalty, and optional add-one smoothing for short
+synthetic sentences.  Scores are reported on the 0-100 scale the paper uses
+("23.3 BLEU points").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+__all__ = ["corpus_bleu", "sentence_bleu"]
+
+
+def _ngrams(tokens: list, order: int) -> Counter:
+    return Counter(
+        tuple(tokens[idx : idx + order]) for idx in range(len(tokens) - order + 1)
+    )
+
+
+def corpus_bleu(
+    references: list[list],
+    hypotheses: list[list],
+    max_order: int = 4,
+    smooth: bool = True,
+) -> float:
+    """Corpus BLEU on the 0-100 scale.
+
+    Args:
+        references: one reference token sequence per sentence.
+        hypotheses: candidate token sequence per sentence.
+        max_order: largest n-gram order (4 is standard).
+        smooth: add-one smoothing of n-gram precisions (recommended for the
+            short sentences of the synthetic corpus).
+
+    Returns:
+        BLEU in ``[0, 100]``.
+    """
+    if len(references) != len(hypotheses):
+        raise ValueError(
+            f"{len(references)} references vs {len(hypotheses)} hypotheses"
+        )
+    if not references:
+        raise ValueError("empty corpus")
+    matches = [0] * max_order
+    possible = [0] * max_order
+    ref_length = 0
+    hyp_length = 0
+    for ref, hyp in zip(references, hypotheses):
+        ref = list(ref)
+        hyp = list(hyp)
+        ref_length += len(ref)
+        hyp_length += len(hyp)
+        for order in range(1, max_order + 1):
+            ref_counts = _ngrams(ref, order)
+            hyp_counts = _ngrams(hyp, order)
+            overlap = sum(
+                min(count, ref_counts[gram]) for gram, count in hyp_counts.items()
+            )
+            matches[order - 1] += overlap
+            possible[order - 1] += max(len(hyp) - order + 1, 0)
+    precisions = []
+    for order in range(max_order):
+        if smooth:
+            precisions.append((matches[order] + 1.0) / (possible[order] + 1.0))
+        elif possible[order] > 0:
+            precisions.append(matches[order] / possible[order])
+        else:
+            precisions.append(0.0)
+    if min(precisions) <= 0:
+        return 0.0
+    log_mean = sum(math.log(p) for p in precisions) / max_order
+    if hyp_length == 0:
+        return 0.0
+    brevity = (
+        1.0
+        if hyp_length > ref_length
+        else math.exp(1.0 - ref_length / hyp_length)
+    )
+    return 100.0 * brevity * math.exp(log_mean)
+
+
+def sentence_bleu(reference: list, hypothesis: list, max_order: int = 4) -> float:
+    """Single-sentence BLEU (smoothed); convenience wrapper."""
+    return corpus_bleu([reference], [hypothesis], max_order=max_order, smooth=True)

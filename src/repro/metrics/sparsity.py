@@ -1,0 +1,64 @@
+"""Weight and activation sparsity measurement (Table VII inputs).
+
+Table VII characterizes each benchmark FC layer by its *weight sparsity*
+(a constant ``1/p`` for PD layers) and its *activation sparsity* -- the
+fraction of non-zero entries in the layer's input vector, measured
+statistically over data.  The PermDNN engine's zero-skipping makes runtime
+proportional to activation density, so this measurement drives the cycle
+model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.sequential import Sequential
+
+__all__ = ["activation_sparsity", "density", "weight_sparsity"]
+
+
+def density(array: np.ndarray, tol: float = 0.0) -> float:
+    """Fraction of entries with ``|value| > tol`` (Table VII's "sparsity
+    ratio": *lower means more sparse*, matching the paper's footnote 8)."""
+    array = np.asarray(array)
+    if array.size == 0:
+        raise ValueError("empty array")
+    return float((np.abs(array) > tol).mean())
+
+
+def weight_sparsity(weight: np.ndarray) -> float:
+    """Non-zero density of a weight array (1/p for a PD matrix)."""
+    return density(weight)
+
+
+def activation_sparsity(
+    model: Module,
+    x: np.ndarray,
+    layer_index: int,
+    tol: float = 0.0,
+) -> float:
+    """Non-zero density of the input to ``model[layer_index]``.
+
+    Runs ``x`` through the leading layers of a :class:`Sequential` model in
+    eval mode and measures the density of the tensor entering the selected
+    layer (typically an FC layer after a ReLU, as in Table VII).
+
+    Args:
+        model: a Sequential model.
+        x: input batch.
+        layer_index: index of the layer whose *input* is measured.
+        tol: magnitude threshold below which an activation counts as zero.
+    """
+    if not isinstance(model, Sequential):
+        raise TypeError("activation_sparsity expects a Sequential model")
+    if not 0 <= layer_index < len(model):
+        raise ValueError(f"layer_index {layer_index} out of range")
+    was_training = model.training
+    model.eval()
+    h = x
+    for layer in model.layers[:layer_index]:
+        h = layer.forward(h)
+    if was_training:
+        model.train()
+    return density(h, tol=tol)

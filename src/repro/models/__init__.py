@@ -1,0 +1,21 @@
+"""Reference networks matching the paper's evaluation workloads."""
+
+from repro.models.alexnet_fc import (
+    ALEXNET_FC_SHAPES,
+    ALEXNET_PD_BLOCKS,
+    build_alexnet_fc,
+)
+from repro.models.lenet import build_lenet5
+from repro.models.resnet import RESNET20_POLICY, WRN48_POLICY, build_resnet
+from repro.models.nmt import Seq2SeqNMT
+
+__all__ = [
+    "ALEXNET_FC_SHAPES",
+    "ALEXNET_PD_BLOCKS",
+    "RESNET20_POLICY",
+    "Seq2SeqNMT",
+    "WRN48_POLICY",
+    "build_alexnet_fc",
+    "build_lenet5",
+    "build_resnet",
+]

@@ -1,0 +1,72 @@
+"""AlexNet's FC stack (FC6-FC7-FC8), dense or PD-compressed (Table II).
+
+The paper compresses AlexNet's three FC layers with block sizes
+``p = 10, 10, 4``.  At paper scale the shapes are 9216 -> 4096 -> 4096 ->
+1000; training that offline is infeasible, so :func:`build_alexnet_fc`
+takes a ``scale`` divisor producing a proportionally shrunk stack for
+accuracy experiments while storage accounting is always available at any
+scale (it is an exact function of the shapes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Dropout, Linear, PermDiagLinear, ReLU, Sequential
+
+__all__ = ["ALEXNET_FC_SHAPES", "ALEXNET_PD_BLOCKS", "build_alexnet_fc"]
+
+# (in_features, out_features) of FC6, FC7, FC8 at paper scale.
+ALEXNET_FC_SHAPES = ((9216, 4096), (4096, 4096), (4096, 1000))
+
+# Table II block sizes for FC6, FC7, FC8.
+ALEXNET_PD_BLOCKS = (10, 10, 4)
+
+
+def build_alexnet_fc(
+    p_values: tuple[int, ...] | None = ALEXNET_PD_BLOCKS,
+    scale: int = 1,
+    num_classes: int | None = None,
+    dropout: float = 0.5,
+    rng: np.random.Generator | int | None = 0,
+) -> Sequential:
+    """Build the AlexNet FC stack.
+
+    Args:
+        p_values: PD block sizes per FC layer, or ``None`` for a dense stack.
+        scale: divisor on every width (1 = paper size; 16 is trainable on a
+            laptop).  Widths are rounded up to stay divisible by the block
+            sizes where possible.
+        num_classes: override the output width (defaults to 1000/scale).
+        dropout: dropout rate between FC layers (AlexNet uses 0.5).
+        rng: seed for weight init.
+
+    Returns:
+        A Sequential ``[FC6, ReLU, Drop, FC7, ReLU, Drop, FC8]``.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if p_values is not None and len(p_values) != len(ALEXNET_FC_SHAPES):
+        raise ValueError("need one block size per FC layer")
+    widths = []
+    for idx, (n_in, n_out) in enumerate(ALEXNET_FC_SHAPES):
+        n_in_s = max(n_in // scale, 8)
+        n_out_s = max(n_out // scale, 8)
+        if idx == len(ALEXNET_FC_SHAPES) - 1 and num_classes is not None:
+            n_out_s = num_classes
+        widths.append((n_in_s, n_out_s))
+    # chain widths: the output of FC6 feeds FC7 etc.
+    widths[1] = (widths[0][1], widths[1][1])
+    widths[2] = (widths[1][1], widths[2][1])
+
+    model = Sequential()
+    for idx, (n_in, n_out) in enumerate(widths):
+        if p_values is None:
+            model.append(Linear(n_in, n_out, rng=rng))
+        else:
+            model.append(PermDiagLinear(n_in, n_out, p=p_values[idx], rng=rng))
+        if idx < len(widths) - 1:
+            model.append(ReLU())
+            if dropout > 0:
+                model.append(Dropout(dropout, rng=rng))
+    return model

@@ -1,0 +1,178 @@
+"""ResNet-20 / Wide ResNet with PD convolutions (Tables IV and V).
+
+Topology follows He et al.: a stem conv, three stages of basic residual
+blocks (widths w, 2w, 4w; stride-2 downsampling between stages), global
+average pooling and a linear classifier.  The paper's block-size policy:
+
+- ResNet-20 (Table IV): ``p = 2`` for 3x3 convs, ``p = 1`` (dense) for the
+  1x1 shortcut convs;
+- Wide ResNet-48, widening factor 8 (Table V): ``p = 4`` for 3x3 convs,
+  ``p = 1`` for 1x1 convs.
+
+A ``width_scale`` divisor shrinks channel counts for offline training while
+preserving the topology and the p-policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2D,
+    Conv2D,
+    GlobalAvgPool2D,
+    Linear,
+    PermDiagConv2D,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+
+__all__ = ["BasicBlock", "PDPolicy", "RESNET20_POLICY", "WRN48_POLICY", "build_resnet"]
+
+
+@dataclass(frozen=True)
+class PDPolicy:
+    """Per-layer-kind block sizes (the paper's per-group policy).
+
+    Attributes:
+        conv3x3_p: block size for 3x3 convolutions (1 = dense).
+        conv1x1_p: block size for 1x1 (shortcut) convolutions.
+    """
+
+    conv3x3_p: int = 1
+    conv1x1_p: int = 1
+
+
+RESNET20_POLICY = PDPolicy(conv3x3_p=2, conv1x1_p=1)
+WRN48_POLICY = PDPolicy(conv3x3_p=4, conv1x1_p=1)
+
+
+def _conv(
+    n_in: int,
+    n_out: int,
+    kernel: int,
+    stride: int,
+    policy: PDPolicy,
+    rng: np.random.Generator,
+) -> Module:
+    p = policy.conv3x3_p if kernel == 3 else policy.conv1x1_p
+    pad = 1 if kernel == 3 else 0
+    if p > 1 and n_in >= p and n_out >= p:
+        return PermDiagConv2D(
+            n_in, n_out, kernel, p=p, stride=stride, padding=pad, bias=False, rng=rng
+        )
+    return Conv2D(n_in, n_out, kernel, stride=stride, padding=pad, bias=False, rng=rng)
+
+
+class BasicBlock(Module):
+    """Standard pre-activation-free basic residual block (2 x 3x3 conv)."""
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        stride: int,
+        policy: PDPolicy,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv1 = _conv(n_in, n_out, 3, stride, policy, rng)
+        self.bn1 = BatchNorm2D(n_out)
+        self.relu1 = ReLU()
+        self.conv2 = _conv(n_out, n_out, 3, 1, policy, rng)
+        self.bn2 = BatchNorm2D(n_out)
+        self.relu2 = ReLU()
+        if stride != 1 or n_in != n_out:
+            self.shortcut_conv = _conv(n_in, n_out, 1, stride, policy, rng)
+            self.shortcut_bn = BatchNorm2D(n_out)
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu1.forward(self.bn1.forward(self.conv1.forward(x)))
+        out = self.bn2.forward(self.conv2.forward(out))
+        if self.shortcut_conv is not None:
+            residual = self.shortcut_bn.forward(self.shortcut_conv.forward(x))
+        else:
+            residual = x
+        return self.relu2.forward(out + residual)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        dsum = self.relu2.backward(dy)
+        dmain = self.conv1.backward(
+            self.relu1.backward(
+                self.bn1.backward(
+                    self.conv2.backward(self.bn2.backward(dsum))
+                )
+            )
+        )
+        if self.shortcut_conv is not None:
+            dres = self.shortcut_conv.backward(self.shortcut_bn.backward(dsum))
+        else:
+            dres = dsum
+        return dmain + dres
+
+
+class _ResNet(Module):
+    """Stem + stages + pool + classifier, with explicit backward."""
+
+    def __init__(self, layers: list[Module]) -> None:
+        super().__init__()
+        self.layers = layers
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy
+
+
+def build_resnet(
+    depth: int = 20,
+    policy: PDPolicy = RESNET20_POLICY,
+    base_width: int = 16,
+    widen_factor: int = 1,
+    num_classes: int = 10,
+    rng: np.random.Generator | int | None = 0,
+) -> _ResNet:
+    """Build a (Wide) ResNet for 32x32 inputs.
+
+    Args:
+        depth: total conv depth; must be ``6n + 2`` (20, 32, 44, ... 48 is
+            handled as the nearest valid configuration ``6*8 - ... `` -- for
+            WRN-48 the paper's depth maps to ``n = 7`` plus the stem, i.e.
+            ``depth=44`` blocks; any ``6n+2`` depth is accepted).
+        policy: PD block-size policy (``RESNET20_POLICY`` / ``WRN48_POLICY``).
+        base_width: stage-1 channel count (16 in ResNet-20).
+        widen_factor: WRN widening multiplier (8 for the paper's WRN-48).
+        num_classes: classifier width.
+        rng: seed for weight init.
+    """
+    if (depth - 2) % 6 != 0:
+        raise ValueError(f"depth must be 6n+2, got {depth}")
+    blocks_per_stage = (depth - 2) // 6
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    widths = [base_width * widen_factor * (2**stage) for stage in range(3)]
+    layers: list[Module] = [
+        Conv2D(3, widths[0], 3, padding=1, bias=False, rng=rng),
+        BatchNorm2D(widths[0]),
+        ReLU(),
+    ]
+    n_in = widths[0]
+    for stage, width in enumerate(widths):
+        for block in range(blocks_per_stage):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            layers.append(BasicBlock(n_in, width, stride, policy, rng))
+            n_in = width
+    layers.append(GlobalAvgPool2D())
+    layers.append(Linear(n_in, num_classes, rng=rng))
+    return _ResNet(layers)

@@ -1,0 +1,112 @@
+"""Stateless numeric helpers shared by layers and losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "col2im",
+    "im2col",
+    "log_softmax",
+    "one_hot",
+    "softmax",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(B,)`` -> one-hot ``(B, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ValueError("labels out of range")
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def _output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size for input={size}, "
+            f"kernel={kernel}, stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold image patches into a matrix for conv-as-matmul.
+
+    Args:
+        x: input of shape ``(B, C, H, W)``.
+        kh, kw: kernel height/width.
+        stride: spatial stride (same in both dims).
+        pad: symmetric zero padding.
+
+    Returns:
+        ``(cols, (oh, ow))`` where ``cols`` has shape
+        ``(B, oh*ow, C*kh*kw)``.
+    """
+    batch, channels, height, width = x.shape
+    oh = _output_size(height, kh, stride, pad)
+    ow = _output_size(width, kw, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, oh, ow, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, oh * ow, channels * kh * kw
+    )
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold patch-gradients back into an image (adjoint of :func:`im2col`)."""
+    batch, channels, height, width = x_shape
+    oh = _output_size(height, kh, stride, pad)
+    ow = _output_size(width, kw, stride, pad)
+    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad))
+    patches = cols.reshape(batch, oh, ow, channels, kh, kw)
+    for dy in range(kh):
+        for dx in range(kw):
+            padded[
+                :, :, dy : dy + oh * stride : stride, dx : dx + ow * stride : stride
+            ] += patches[:, :, :, :, dy, dx].transpose(0, 3, 1, 2)
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

@@ -1,0 +1,22 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal"]
+
+
+def he_normal(
+    shape: tuple[int, ...], fan_in: float, rng: np.random.Generator
+) -> np.ndarray:
+    """He initialization ``N(0, sqrt(2/fan_in))`` (ReLU networks)."""
+    return rng.normal(0.0, np.sqrt(2.0 / max(fan_in, 1.0)), size=shape)
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], fan_in: float, fan_out: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization (tanh/sigmoid networks)."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1.0))
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,84 @@
+"""Element-wise activation layers.
+
+The PermDNN PE's activation unit "can be reconfigured to act as either
+Rectified Linear Unit (ReLU) or hypertangent function (tanh)" (Sec. IV-C);
+both are provided, plus sigmoid (needed inside LSTM gates) and leaky ReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["LeakyReLU", "ReLU", "Sigmoid", "Tanh"]
+
+
+class ReLU(Module):
+    """``max(x, 0)``.  Its output zeros are the *dynamic input sparsity*
+    the PermDNN engine skips (Fig. 5)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return dy * self._mask
+
+
+class LeakyReLU(Module):
+    """``x if x > 0 else alpha * x``."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        super().__init__()
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, dy, self.alpha * dy)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return dy * (1.0 - self._y**2)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return dy * self._y * (1.0 - self._y)

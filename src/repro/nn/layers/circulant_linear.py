@@ -1,0 +1,132 @@
+"""Block-circulant FC layer: the CirCNN baseline (Sec. II-C).
+
+CirCNN represents weights with ``k x k`` circulant blocks; each block stores
+one length-``k`` vector and computes
+``W_ij x_j = IFFT(FFT(w_ij) * FFT(x_j))`` -- *complex* arithmetic, and the
+input must move to the frequency domain, which destroys its time-domain
+sparsity.  Both properties are what the PermDNN hardware model charges
+CirCNN for (Table VI / Table XI); this layer provides the functional
+counterpart so accuracy comparisons use the real algorithm.
+
+Convention: each block is circulant in its first *column* ``w``:
+``C[r, c] = w[(r - c) mod k]``, so ``C @ x`` is the circular convolution
+``w * x`` and FFTs diagonalize it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["BlockCirculantLinear"]
+
+
+class BlockCirculantLinear(Module):
+    """``y = W x + b`` with ``W`` made of ``k x k`` circulant blocks.
+
+    Trainable parameter: ``weight[bi, bj, :]`` -- the defining first column
+    of each block.  Compression ratio is ``k`` (same count as PD with
+    ``p = k``), which is what makes the PermDNN-vs-CirCNN comparison
+    apples-to-apples.
+
+    Args:
+        in_features: input width (padded up to a multiple of ``k``).
+        out_features: output width (padded likewise).
+        k: circulant block size.
+        bias: include an additive bias.
+        rng: generator or seed for initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        k: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ValueError(f"block size k must be positive, got {k}")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.k = k
+        self.mb = -(-out_features // k)
+        self.nb = -(-in_features // k)
+        scale = np.sqrt(1.0 / max(in_features, 1))
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(self.mb, self.nb, k)), "circ_weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), "bias") if bias else None
+        self._x_blocks_f: np.ndarray | None = None
+
+    @property
+    def compression_ratio(self) -> float:
+        return (self.out_features * self.in_features) / self.weight.size
+
+    def to_dense_weight(self) -> np.ndarray:
+        """Materialize the dense ``(out, in)`` block-circulant matrix."""
+        k = self.k
+        dense = np.zeros((self.mb * k, self.nb * k))
+        r = np.arange(k)
+        rows = r[:, None]
+        cols = r[None, :]
+        idx = (rows - cols) % k
+        for bi in range(self.mb):
+            for bj in range(self.nb):
+                dense[bi * k : (bi + 1) * k, bj * k : (bj + 1) * k] = (
+                    self.weight.value[bi, bj][idx]
+                )
+        return dense[: self.out_features, : self.in_features]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (B, {self.in_features}), got {x.shape}"
+            )
+        batch = x.shape[0]
+        k = self.k
+        x_pad = np.zeros((batch, self.nb * k))
+        x_pad[:, : self.in_features] = x
+        x_blocks = x_pad.reshape(batch, self.nb, k)
+        # frequency-domain pipeline, exactly CirCNN's dataflow:
+        xf = np.fft.rfft(x_blocks, axis=2)            # (B, nb, kf)
+        wf = np.fft.rfft(self.weight.value, axis=2)    # (mb, nb, kf)
+        self._x_blocks_f = xf
+        yf = np.einsum("ijf,bjf->bif", wf, xf)         # sum over input blocks
+        y = np.fft.irfft(yf, n=k, axis=2).reshape(batch, self.mb * k)
+        y = y[:, : self.out_features]
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x_blocks_f is None:
+            raise RuntimeError("backward called before forward")
+        dy = np.asarray(dy, dtype=np.float64)
+        batch = dy.shape[0]
+        k = self.k
+        dy_pad = np.zeros((batch, self.mb * k))
+        dy_pad[:, : self.out_features] = dy
+        dyf = np.fft.rfft(dy_pad.reshape(batch, self.mb, k), axis=2)
+        # dL/dw = cross-correlation of dy with x  (per block, summed over B)
+        dwf = np.einsum("bif,bjf->ijf", dyf, np.conj(self._x_blocks_f))
+        self.weight.grad += np.fft.irfft(dwf, n=k, axis=2)
+        if self.bias is not None:
+            self.bias.grad += dy.sum(axis=0)
+        # dL/dx = W.T dy = cross-correlation with w  (per block, sum over mb)
+        wf = np.fft.rfft(self.weight.value, axis=2)
+        dxf = np.einsum("ijf,bif->bjf", np.conj(wf), dyf)
+        dx = np.fft.irfft(dxf, n=k, axis=2).reshape(batch, self.nb * k)
+        return dx[:, : self.in_features]
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCirculantLinear({self.in_features} -> "
+            f"{self.out_features}, k={self.k})"
+        )

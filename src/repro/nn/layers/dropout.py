@@ -1,0 +1,47 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Zero a fraction ``rate`` of activations during training.
+
+    Uses inverted scaling so evaluation is a no-op.  Dropout also *raises*
+    dynamic activation sparsity, which is exactly what the PermDNN engine's
+    zero-skipping exploits.
+
+    Args:
+        rate: drop probability in ``[0, 1)``.
+        rng: generator or seed for mask sampling.
+    """
+
+    def __init__(
+        self, rate: float = 0.5, rng: np.random.Generator | int | None = None
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dy
+        return dy * self._mask

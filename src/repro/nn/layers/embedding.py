@@ -1,0 +1,59 @@
+"""Token embedding lookup (for the NMT model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """Lookup table mapping integer tokens to dense vectors.
+
+    Args:
+        vocab_size: number of rows.
+        dim: embedding width.
+        rng: generator or seed for initialization.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = Parameter(
+            rng.normal(0.0, 0.1, size=(vocab_size, dim)), "embedding"
+        )
+        self._tokens: np.ndarray | None = None
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """``tokens`` of any integer shape -> embeddings with a trailing dim."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.vocab_size:
+            raise ValueError("token id out of range")
+        self._tokens = tokens
+        return self.weight.value[tokens]
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._tokens is None:
+            raise RuntimeError("backward called before forward")
+        self.accumulate_grad(self._tokens, dy)
+        return np.zeros_like(self._tokens, dtype=np.float64)
+
+    def accumulate_grad(self, tokens: np.ndarray, dy: np.ndarray) -> None:
+        """Stateless gradient accumulation for callers that look up the
+        table several times per step (e.g. seq2seq encoder + decoder)."""
+        np.add.at(
+            self.weight.grad,
+            np.asarray(tokens, dtype=np.int64).reshape(-1),
+            np.asarray(dy, dtype=np.float64).reshape(-1, self.dim),
+        )

@@ -1,0 +1,26 @@
+"""Shape adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """``(B, ...) -> (B, prod(...))`` -- bridges CONV and FC stacks."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return dy.reshape(self._shape)

@@ -1,0 +1,67 @@
+"""Dense fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import he_normal
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """``y = x @ W.T + b`` with dense ``W`` of shape ``(out, in)``.
+
+    The uncompressed baseline against which PD layers are compared.
+
+    Args:
+        in_features: input width ``n``.
+        out_features: output width ``m``.
+        bias: include an additive bias (the paper folds bias into ``W``;
+            we keep it explicit).
+        rng: generator or seed for initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            he_normal((out_features, in_features), in_features, rng), "weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), "bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (B, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        y = x @ self.weight.value.T
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        dy = np.asarray(dy, dtype=np.float64)
+        self.weight.grad += dy.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += dy.sum(axis=0)
+        return dy @ self.weight.value
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features} -> {self.out_features})"

@@ -1,0 +1,96 @@
+"""Dense layer with a fixed binary support mask.
+
+Two uses:
+
+- the *unstructured sparsification* baseline the paper argues against
+  (magnitude pruning keeps an irregular support; retraining only updates
+  surviving weights), and
+- a cross-check for :class:`~repro.nn.PermDiagLinear`: with the PD support
+  as the mask, both layers must produce identical losses and updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import he_normal
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["MaskedLinear"]
+
+
+class MaskedLinear(Module):
+    """``y = x @ (W * M).T + b`` with a constant boolean mask ``M``.
+
+    Gradients are masked as well, so pruned weights stay exactly zero --
+    the standard "train with fixed sparsity pattern" scheme.
+
+    Args:
+        in_features: input width.
+        out_features: output width.
+        mask: boolean array of shape ``(out, in)``; ``True`` keeps a weight.
+        bias: include an additive bias.
+        rng: generator or seed for initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        mask: np.ndarray,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (out_features, in_features):
+            raise ValueError(
+                f"mask shape {mask.shape} != ({out_features}, {in_features})"
+            )
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.mask = mask
+        fan_in = max(mask.sum(axis=1).mean(), 1.0)
+        self.weight = Parameter(
+            he_normal((out_features, in_features), fan_in, rng) * mask, "weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), "bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    @property
+    def nnz(self) -> int:
+        return int(self.mask.sum())
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.mask.size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (B, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        y = x @ (self.weight.value * self.mask).T
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        dy = np.asarray(dy, dtype=np.float64)
+        self.weight.grad += (dy.T @ self._x) * self.mask
+        if self.bias is not None:
+            self.bias.grad += dy.sum(axis=0)
+        return dy @ (self.weight.value * self.mask)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaskedLinear({self.in_features} -> {self.out_features}, "
+            f"density={self.density:.3f})"
+        )

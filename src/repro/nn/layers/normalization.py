@@ -1,0 +1,86 @@
+"""Batch normalization (1-D and 2-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["BatchNorm1D", "BatchNorm2D"]
+
+
+class _BatchNorm(Module):
+    """Shared batch-norm machinery; subclasses define the reduce axes."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), "gamma")
+        self.beta = Parameter(np.zeros(num_features), "beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache = None
+
+    _axes: tuple[int, ...] = (0,)
+
+    def _reshape(self, stat: np.ndarray, x: np.ndarray) -> np.ndarray:
+        shape = [1] * x.ndim
+        shape[1] = self.num_features
+        return stat.reshape(shape)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features on axis 1, got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=self._axes)
+            var = x.var(axis=self._axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._reshape(mean, x)) * self._reshape(inv_std, x)
+        self._cache = (x_hat, inv_std)
+        return self._reshape(self.gamma.value, x) * x_hat + self._reshape(
+            self.beta.value, x
+        )
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        dy = np.asarray(dy, dtype=np.float64)
+        self.gamma.grad += (dy * x_hat).sum(axis=self._axes)
+        self.beta.grad += dy.sum(axis=self._axes)
+        if not self.training:
+            return dy * self._reshape(self.gamma.value * inv_std, dy)
+        count = dy.size // self.num_features
+        dxhat = dy * self._reshape(self.gamma.value, dy)
+        term1 = dxhat
+        term2 = self._reshape(dxhat.sum(axis=self._axes) / count, dy)
+        term3 = x_hat * self._reshape(
+            (dxhat * x_hat).sum(axis=self._axes) / count, dy
+        )
+        return (term1 - term2 - term3) * self._reshape(inv_std, dy)
+
+
+class BatchNorm1D(_BatchNorm):
+    """Batch norm over ``(B, C)`` inputs."""
+
+    _axes = (0,)
+
+
+class BatchNorm2D(_BatchNorm):
+    """Batch norm over ``(B, C, H, W)`` inputs (per-channel statistics)."""
+
+    _axes = (0, 2, 3)

@@ -1,0 +1,128 @@
+"""Fully-connected layer with block-permuted diagonal weights (Sec. III-B).
+
+This is the paper's FC layer: the ``(out, in)`` weight matrix is a
+:class:`~repro.core.BlockPermutedDiagonalMatrix`, so only ``out*in/p``
+weights exist, and the backward pass (Eqns. (2)-(3)) touches exactly those --
+which "theoretically guarantees the trained sparse network always exhibits
+block-permuted diagonal structure".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BlockPermutedDiagonalMatrix, PermutationSpec
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["PermDiagLinear"]
+
+
+class PermDiagLinear(Module):
+    """``y = W x + b`` with ``W`` block-permuted diagonal of block size ``p``.
+
+    The trainable parameter is the packed ``(mb, nb, p)`` value array
+    (the paper's ``q`` vector); permutation parameters ``k_l`` are fixed
+    structure chosen at construction and never trained.
+
+    Args:
+        in_features: input width ``n``.
+        out_features: output width ``m``.
+        p: block size (= compression ratio of this layer).
+        bias: include an additive bias.
+        spec: how to pick ``k_l`` (natural indexing by default, as in all the
+            paper's reported tables).
+        rng: generator or seed for initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        p: int,
+        bias: bool = True,
+        spec: PermutationSpec | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.p = p
+        matrix = BlockPermutedDiagonalMatrix.random(
+            (out_features, in_features), p, spec=spec, rng=rng
+        )
+        self._matrix = matrix
+        self.weight = Parameter(matrix.data, "pd_weight")
+        matrix.data = self.weight.value  # share storage: optimizer updates W
+        self.bias = Parameter(np.zeros(out_features), "bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def matrix(self) -> BlockPermutedDiagonalMatrix:
+        """Live view of the weight as a structured matrix."""
+        return self._matrix
+
+    @property
+    def ks(self) -> np.ndarray:
+        return self._matrix.ks
+
+    @property
+    def compression_ratio(self) -> float:
+        return self._matrix.compression_ratio
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: BlockPermutedDiagonalMatrix,
+        bias: np.ndarray | None = None,
+    ) -> "PermDiagLinear":
+        """Wrap an existing structured matrix (e.g. a PD approximation of a
+        pre-trained dense layer, Sec. III-F)."""
+        m, n = matrix.shape
+        layer = cls(n, m, matrix.p, bias=bias is not None)
+        layer.weight.value[...] = matrix.data
+        layer._matrix.ks[...] = matrix.ks
+        layer._matrix.shape = matrix.shape
+        if bias is not None:
+            layer.bias.value[...] = bias
+        return layer
+
+    def to_dense_weight(self) -> np.ndarray:
+        """Materialized dense ``(out, in)`` weight (for analysis only)."""
+        return self._matrix.to_dense()
+
+    # ------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (B, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        y = self._matrix.matmat(x)
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Structure-preserving backward (Eqns. (2)-(3)).
+
+        Only the stored diagonal values receive gradient; the input gradient
+        is ``W.T @ dy`` computed through the structured transpose.
+        """
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        dy = np.asarray(dy, dtype=np.float64)
+        self.weight.grad += self._matrix.grad_data(self._x, dy)
+        if self.bias is not None:
+            self.bias.grad += dy.sum(axis=0)
+        return self._matrix.rmatmat(dy)
+
+    def __repr__(self) -> str:
+        return (
+            f"PermDiagLinear({self.in_features} -> {self.out_features}, "
+            f"p={self.p})"
+        )

@@ -1,0 +1,276 @@
+"""LSTM with pluggable dense or permuted-diagonal weight matrices.
+
+The paper's NMT benchmark (Table III) is a stacked LSTM where "one FC in
+LSTM means one component weight matrix": each LSTM owns 8 weight matrices
+(four gates x {input projection W, recurrent projection U}), and PermDNN
+imposes the PD structure on all of them with ``p = 8``.
+
+Weights are abstracted as *ops* so the same cell runs dense (baseline) or
+block-permuted diagonal (compressed): an op exposes a stateless
+``matmat(x)`` and a ``grad(x, dy) -> dx`` that accumulates its weight
+gradient, which is what backpropagation-through-time needs (per-timestep
+inputs are supplied by the caller).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BlockPermutedDiagonalMatrix, PermutationSpec
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["LSTM", "LSTMCell"]
+
+_GATES = ("i", "f", "g", "o")
+
+
+class _DenseOp(Module):
+    """Dense ``(out, in)`` matrix op."""
+
+    def __init__(self, in_features: int, out_features: int, rng) -> None:
+        super().__init__()
+        scale = 1.0 / np.sqrt(max(in_features, 1))
+        self.weight = Parameter(
+            rng.uniform(-scale, scale, size=(out_features, in_features))
+        )
+
+    @property
+    def stored_weights(self) -> int:
+        return self.weight.size
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight.value.T
+
+    def grad(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        self.weight.grad += dy.T @ x
+        return dy @ self.weight.value
+
+
+class _PDOp(Module):
+    """Block-permuted diagonal matrix op (the paper's compressed FC)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        p: int,
+        spec: PermutationSpec | None,
+        rng,
+    ) -> None:
+        super().__init__()
+        matrix = BlockPermutedDiagonalMatrix.random(
+            (out_features, in_features), p, spec=spec, rng=rng
+        )
+        self.matrix = matrix
+        self.weight = Parameter(matrix.data)
+        matrix.data = self.weight.value  # share storage with the optimizer
+
+    @property
+    def stored_weights(self) -> int:
+        return self.matrix.nnz
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix.matmat(x)
+
+    def grad(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        self.weight.grad += self.matrix.grad_data(x, dy)
+        return self.matrix.rmatmat(dy)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class LSTMCell(Module):
+    """One LSTM step; owns the 8 weight matrices and 4 gate biases.
+
+    Args:
+        input_size: width of ``x_t``.
+        hidden_size: width of ``h_t`` / ``c_t``.
+        p: PD block size for all 8 matrices, or ``None`` for dense weights.
+        spec: permutation selection for PD weights.
+        rng: generator or seed.
+        forget_bias: initial forget-gate bias (1.0 helps gradient flow).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        p: int | None = None,
+        spec: PermutationSpec | None = None,
+        rng: np.random.Generator | int | None = None,
+        forget_bias: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.p = p
+
+        def make_op(n_in: int) -> Module:
+            if p is None:
+                return _DenseOp(n_in, hidden_size, rng)
+            return _PDOp(n_in, hidden_size, p, spec, rng)
+
+        self.w_ops = {gate: make_op(input_size) for gate in _GATES}
+        self.u_ops = {gate: make_op(hidden_size) for gate in _GATES}
+        self.biases = {
+            gate: Parameter(
+                np.full(hidden_size, forget_bias if gate == "f" else 0.0)
+            )
+            for gate in _GATES
+        }
+
+    @property
+    def weight_matrices(self) -> list[Module]:
+        """The 8 component FC matrices (paper's Table III terminology)."""
+        return [self.w_ops[g] for g in _GATES] + [self.u_ops[g] for g in _GATES]
+
+    @property
+    def stored_weights(self) -> int:
+        """Scalar weights stored across the 8 matrices (PD counts non-zeros)."""
+        return sum(op.stored_weights for op in self.weight_matrices)
+
+    def step(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """One forward step; returns ``(h, c, cache)`` for BPTT."""
+        pre = {
+            gate: self.w_ops[gate].matmat(x)
+            + self.u_ops[gate].matmat(h_prev)
+            + self.biases[gate].value
+            for gate in _GATES
+        }
+        i = _sigmoid(pre["i"])
+        f = _sigmoid(pre["f"])
+        g = np.tanh(pre["g"])
+        o = _sigmoid(pre["o"])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        cache = {
+            "x": x,
+            "h_prev": h_prev,
+            "c_prev": c_prev,
+            "i": i,
+            "f": f,
+            "g": g,
+            "o": o,
+            "tanh_c": tanh_c,
+        }
+        return h, c, cache
+
+    def step_backward(
+        self, dh: np.ndarray, dc: np.ndarray, cache: dict
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward through one step.
+
+        Args:
+            dh: gradient w.r.t. this step's ``h``.
+            dc: gradient w.r.t. this step's ``c`` flowing from the future.
+            cache: the dict produced by :meth:`step`.
+
+        Returns:
+            ``(dx, dh_prev, dc_prev)``; weight/bias grads are accumulated.
+        """
+        i, f, g, o = cache["i"], cache["f"], cache["g"], cache["o"]
+        tanh_c = cache["tanh_c"]
+        dc_total = dc + dh * o * (1.0 - tanh_c**2)
+        dgate = {
+            "i": dc_total * g * i * (1.0 - i),
+            "f": dc_total * cache["c_prev"] * f * (1.0 - f),
+            "g": dc_total * i * (1.0 - g**2),
+            "o": dh * tanh_c * o * (1.0 - o),
+        }
+        dx = np.zeros_like(cache["x"])
+        dh_prev = np.zeros_like(cache["h_prev"])
+        for gate in _GATES:
+            dz = dgate[gate]
+            dx += self.w_ops[gate].grad(cache["x"], dz)
+            dh_prev += self.u_ops[gate].grad(cache["h_prev"], dz)
+            self.biases[gate].grad += dz.sum(axis=0)
+        dc_prev = dc_total * f
+        return dx, dh_prev, dc_prev
+
+
+class LSTM(Module):
+    """Full-sequence LSTM: ``(B, T, input) -> (B, T, hidden)``.
+
+    Args:
+        input_size, hidden_size, p, spec, rng: see :class:`LSTMCell`.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        p: int | None = None,
+        spec: PermutationSpec | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, p=p, spec=spec, rng=rng)
+        self.hidden_size = hidden_size
+        self._caches: list[dict] | None = None
+        self._h0_external = False
+
+    def forward(
+        self,
+        x: np.ndarray,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Run the whole sequence; caches every step for BPTT."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, input), got shape {x.shape}")
+        batch, steps, _ = x.shape
+        h = np.zeros((batch, self.hidden_size)) if h0 is None else h0
+        c = np.zeros((batch, self.hidden_size)) if c0 is None else c0
+        self._h0_external = h0 is not None
+        outputs = np.empty((batch, steps, self.hidden_size))
+        self._caches = []
+        for t in range(steps):
+            h, c, cache = self.cell.step(x[:, t], h, c)
+            outputs[:, t] = h
+            self._caches.append(cache)
+        self.final_state = (h, c)
+        return outputs
+
+    def backward(
+        self,
+        dy: np.ndarray,
+        dh_final: np.ndarray | None = None,
+        dc_final: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """BPTT over the cached sequence.
+
+        Args:
+            dy: gradient w.r.t. the full output sequence ``(B, T, hidden)``.
+            dh_final / dc_final: extra gradient injected at the final state
+                (used when a decoder consumes the encoder's last state).
+
+        Returns:
+            Gradient w.r.t. the input sequence ``(B, T, input)``.  The
+            gradients w.r.t. ``(h0, c0)`` are stored in ``self.state_grad``.
+        """
+        if self._caches is None:
+            raise RuntimeError("backward called before forward")
+        dy = np.asarray(dy, dtype=np.float64)
+        batch, steps, _ = dy.shape
+        dh = np.zeros((batch, self.hidden_size))
+        dc = np.zeros((batch, self.hidden_size))
+        if dh_final is not None:
+            dh += dh_final
+        if dc_final is not None:
+            dc += dc_final
+        dx_seq = np.empty((batch, steps, self.cell.input_size))
+        for t in reversed(range(steps)):
+            dh = dh + dy[:, t]
+            dx, dh, dc = self.cell.step_backward(dh, dc, self._caches[t])
+            dx_seq[:, t] = dx
+        self.state_grad = (dh, dc)
+        return dx_seq

@@ -1,0 +1,126 @@
+"""Base class for all layers and models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base layer: explicit ``forward`` / ``backward``, recursive parameters.
+
+    Subclasses implement:
+
+    - ``forward(x)`` -- compute the output, caching whatever backward needs
+      (caches live on ``self`` and are overwritten each call);
+    - ``backward(dy)`` -- given the loss gradient w.r.t. the output, *add*
+      parameter gradients into each ``Parameter.grad`` and return the loss
+      gradient w.r.t. the input.
+
+    ``training`` toggles train/eval behaviour (dropout, batch norm) and is
+    propagated to children by :meth:`train` / :meth:`eval`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter / submodule discovery --------------------------------
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(found, seen)
+        return found
+
+    def _collect(self, found: list[Parameter], seen: set[int]) -> None:
+        for value in vars(self).values():
+            self._collect_value(value, found, seen)
+
+    def _collect_value(self, value, found: list[Parameter], seen: set[int]) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            value._collect(found, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_value(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect_value(item, found, seen)
+
+    def modules(self) -> list["Module"]:
+        """This module and all nested submodules (depth first)."""
+        found: list[Module] = [self]
+        for value in vars(self).values():
+            found.extend(self._collect_modules(value))
+        return found
+
+    def _collect_modules(self, value) -> list["Module"]:
+        if isinstance(value, Module):
+            return value.modules()
+        if isinstance(value, (list, tuple)):
+            out: list[Module] = []
+            for item in value:
+                out.extend(self._collect_modules(item))
+            return out
+        return []
+
+    # -- training state --------------------------------------------------
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total stored scalar weights (PD layers count only non-zeros)."""
+        return sum(p.size for p in self.parameters())
+
+    # -- interface --------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- state dict -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of parameter values, keyed by discovery order."""
+        return {
+            f"param_{idx}": param.value.copy()
+            for idx, param in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} entries, model has {len(params)}"
+            )
+        for idx, param in enumerate(params):
+            value = np.asarray(state[f"param_{idx}"])
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"param_{idx}: shape {value.shape} != {param.value.shape}"
+                )
+            param.value[...] = value

@@ -1,0 +1,39 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient.
+
+    Attributes:
+        value: the parameter array (updated in place by optimizers).
+        grad: accumulated gradient of the loss w.r.t. ``value``; reset with
+            :meth:`zero_grad` (layers *add* into it, so shared parameters
+            and backpropagation-through-time accumulate correctly).
+        name: optional identifier for debugging / state dicts.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Parameter{label}(shape={self.value.shape})"

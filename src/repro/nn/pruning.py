@@ -1,0 +1,74 @@
+"""Magnitude pruning: the unstructured-sparsification baseline (Sec. II-B).
+
+This is the EIE-style compression pipeline the paper argues against:
+prune the smallest weights of a pre-trained dense layer, then retrain with
+the surviving (irregular) support fixed.  The resulting sparse matrices feed
+the EIE hardware simulator, which charges them for index storage and
+per-column load imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.masked_linear import MaskedLinear
+
+__all__ = [
+    "magnitude_mask",
+    "prune_linear",
+    "layerwise_density",
+]
+
+
+def magnitude_mask(weight: np.ndarray, density: float) -> np.ndarray:
+    """Boolean mask keeping the ``density`` fraction of largest-|w| entries.
+
+    Args:
+        weight: dense weight array (any shape).
+        density: fraction of entries to keep, in ``(0, 1]``.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    keep = max(1, int(round(weight.size * density)))
+    if keep >= weight.size:
+        return np.ones(weight.shape, dtype=bool)
+    threshold = np.partition(np.abs(weight).ravel(), weight.size - keep)[
+        weight.size - keep
+    ]
+    mask = np.abs(weight) >= threshold
+    # Tie-break: if the threshold value is repeated we may keep too many;
+    # drop arbitrary ties to hit the exact count (keeps accounting honest).
+    excess = int(mask.sum()) - keep
+    if excess > 0:
+        tie_positions = np.flatnonzero((np.abs(weight) == threshold).ravel())
+        flat = mask.ravel()
+        flat[tie_positions[:excess]] = False
+        mask = flat.reshape(weight.shape)
+    return mask
+
+
+def prune_linear(layer: Linear, density: float) -> MaskedLinear:
+    """Convert a trained dense layer into a magnitude-pruned masked layer.
+
+    The surviving weights keep their trained values (the usual
+    prune-then-retrain starting point).
+    """
+    mask = magnitude_mask(layer.weight.value, density)
+    pruned = MaskedLinear(
+        layer.in_features,
+        layer.out_features,
+        mask,
+        bias=layer.bias is not None,
+    )
+    pruned.weight.value[...] = layer.weight.value * mask
+    if layer.bias is not None:
+        pruned.bias.value[...] = layer.bias.value
+    return pruned
+
+
+def layerwise_density(masks: list[np.ndarray]) -> float:
+    """Overall density across several pruned layers."""
+    kept = sum(int(m.sum()) for m in masks)
+    total = sum(m.size for m in masks)
+    return kept / total

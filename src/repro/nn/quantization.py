@@ -1,0 +1,158 @@
+"""Quantization: 16-bit fixed point and 4-bit weight sharing.
+
+The paper's Tables II-V report "16-bit fixed with PD" rows, and the hardware
+uses EIE's *weight sharing* strategy ("4-bit weight sharing does not cause
+accuracy drop", footnote 11): weights are clustered into ``2^bits``
+centroids; SRAM stores the 4-bit cluster index and a small LUT decodes it
+to a 16-bit value inside each PE (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FixedPointFormat",
+    "WeightSharingCodebook",
+    "choose_fixed_point_format",
+    "quantize_fixed_point",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format Q(total_bits - frac_bits - 1).frac_bits.
+
+    Attributes:
+        total_bits: word length including the sign bit.
+        frac_bits: bits to the right of the binary point.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("total_bits must be >= 2")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError("frac_bits must be in [0, total_bits)")
+
+    @property
+    def scale(self) -> float:
+        return float(2**self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.total_bits - 1) - 1) / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.total_bits - 1)) / self.scale
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+
+def choose_fixed_point_format(
+    values: np.ndarray, total_bits: int = 16
+) -> FixedPointFormat:
+    """Pick the fraction width that covers ``max |values|`` without clipping."""
+    peak = float(np.max(np.abs(values), initial=0.0))
+    int_bits = 0
+    while (2**int_bits - 2 ** (int_bits - total_bits + 1)) < peak and int_bits < (
+        total_bits - 1
+    ):
+        int_bits += 1
+    return FixedPointFormat(total_bits, total_bits - 1 - int_bits)
+
+
+def quantize_fixed_point(
+    values: np.ndarray, fmt: FixedPointFormat | None = None, total_bits: int = 16
+) -> np.ndarray:
+    """Round to fixed point (saturating), returning float-valued results.
+
+    Args:
+        values: array to quantize.
+        fmt: explicit format; derived from the data range if omitted.
+        total_bits: word length used when deriving the format.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if fmt is None:
+        fmt = choose_fixed_point_format(values, total_bits)
+    quantized = np.round(values * fmt.scale) / fmt.scale
+    return np.clip(quantized, fmt.min_value, fmt.max_value)
+
+
+class WeightSharingCodebook:
+    """K-means weight sharing (EIE-style ``bits``-bit virtual weights).
+
+    Non-zero weights are clustered into ``2^bits`` centroids with Lloyd's
+    algorithm; :meth:`apply` snaps an array to its nearest centroid.  Zero
+    entries stay exactly zero (they are structural in PD matrices).
+
+    Args:
+        bits: index width (4 in the paper's design, so 16 clusters).
+        iterations: Lloyd iterations.
+        rng: generator or seed for centroid initialization.
+    """
+
+    def __init__(
+        self,
+        bits: int = 4,
+        iterations: int = 25,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if bits < 1 or bits > 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        self.bits = bits
+        self.iterations = iterations
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self._rng = rng
+        self.centroids: np.ndarray | None = None
+
+    @property
+    def num_clusters(self) -> int:
+        return 2**self.bits
+
+    def fit(self, values: np.ndarray) -> "WeightSharingCodebook":
+        """Cluster the non-zero entries of ``values``."""
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        nonzero = flat[flat != 0]
+        if nonzero.size == 0:
+            self.centroids = np.zeros(self.num_clusters)
+            return self
+        k = min(self.num_clusters, nonzero.size)
+        # linear initialization over the value range (Han et al. recommend it)
+        centroids = np.linspace(nonzero.min(), nonzero.max(), k)
+        for _ in range(self.iterations):
+            assignment = np.abs(nonzero[:, None] - centroids[None, :]).argmin(axis=1)
+            for idx in range(k):
+                members = nonzero[assignment == idx]
+                if members.size:
+                    centroids[idx] = members.mean()
+        self.centroids = centroids
+        return self
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Snap each non-zero entry to its nearest centroid."""
+        if self.centroids is None:
+            raise RuntimeError("fit() must be called before apply()")
+        values = np.asarray(values, dtype=np.float64)
+        flat = values.ravel()
+        out = flat.copy()
+        nz = flat != 0
+        if nz.any():
+            assignment = np.abs(
+                flat[nz][:, None] - self.centroids[None, :]
+            ).argmin(axis=1)
+            out[nz] = self.centroids[assignment]
+        return out.reshape(values.shape)
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """RMS error introduced by :meth:`apply`."""
+        values = np.asarray(values, dtype=np.float64)
+        return float(np.sqrt(((values - self.apply(values)) ** 2).mean()))

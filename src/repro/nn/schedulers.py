@@ -1,0 +1,64 @@
+"""Learning-rate schedules for SGD/Adam."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["CosineLR", "StepLR"]
+
+
+class StepLR:
+    """Multiply the optimizer's learning rate by ``gamma`` every ``step_size`` epochs.
+
+    Args:
+        optimizer: an optimizer exposing an ``lr`` attribute.
+        step_size: epochs between decays.
+        gamma: decay factor.
+    """
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (
+            self.epoch // self.step_size
+        )
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine annealing from the base rate to ``min_lr`` over ``total_epochs``.
+
+    Args:
+        optimizer: an optimizer exposing an ``lr`` attribute.
+        total_epochs: annealing horizon.
+        min_lr: final learning rate.
+    """
+
+    def __init__(self, optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        progress = self.epoch / self.total_epochs
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+        return self.optimizer.lr

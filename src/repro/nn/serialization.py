@@ -1,0 +1,35 @@
+"""Whole-model checkpointing to ``.npz``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["load_model", "save_model"]
+
+
+def save_model(path: str, model: Module) -> None:
+    """Write a model's parameters to an ``.npz`` checkpoint.
+
+    Layer structure is not serialized -- loading requires rebuilding the
+    same architecture first (the usual state-dict discipline).  PD layers
+    save their packed value arrays, so checkpoints of compressed models
+    are proportionally small.
+    """
+    np.savez_compressed(path, **model.state_dict())
+
+
+def load_model(path: str, model: Module) -> Module:
+    """Load an ``.npz`` checkpoint into an already-constructed model.
+
+    Args:
+        path: checkpoint produced by :func:`save_model`.
+        model: a model with the exact same parameter shapes.
+
+    Returns:
+        The same model instance, for chaining.
+    """
+    with np.load(path) as archive:
+        model.load_state_dict({key: archive[key] for key in archive.files})
+    return model

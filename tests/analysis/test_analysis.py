@@ -1,0 +1,98 @@
+"""Tests for connectedness (Sec. III-E) and storage comparison (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    connectivity_fraction,
+    is_fully_connected,
+    layer_connectivity_graph,
+    storage_comparison_curve,
+)
+from repro.core import BlockPermutedDiagonalMatrix, PermutationSpec
+
+
+def _pd(shape, p, scheme="natural", seed=0, ks=None):
+    if ks is not None:
+        return BlockPermutedDiagonalMatrix.zeros(shape, p, ks=np.asarray(ks))
+    return BlockPermutedDiagonalMatrix.zeros(
+        shape, p, spec=PermutationSpec(scheme, seed=seed)
+    )
+
+
+class TestConnectivityGraph:
+    def test_single_layer_edges_match_mask(self):
+        layer = _pd((8, 8), 4)
+        graph = layer_connectivity_graph([layer])
+        assert graph.number_of_edges() == int(layer.dense_mask().sum())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            layer_connectivity_graph([_pd((8, 8), 4), _pd((8, 6), 2)])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            connectivity_fraction([])
+
+
+class TestConnectednessLemma:
+    def test_identical_shifts_do_block_information(self):
+        """With k_l identical everywhere, each neuron only ever reaches the
+        same residue class -- the stack is NOT fully connected.  This is the
+        contrapositive of the paper's lemma."""
+        ks = np.zeros((2, 2), dtype=int)  # every block has k = 0
+        layers = [_pd((8, 8), 4, ks=ks) for _ in range(3)]
+        frac = connectivity_fraction(layers)
+        assert frac < 1.0
+        # with pure diagonals the reachable set is exactly 2 blocks wide
+        assert frac == pytest.approx(0.25, abs=0.01)
+
+    def test_natural_indexing_becomes_fully_connected_with_depth(self):
+        """Paper's lemma: non-identical k_l -> no neuron is blocked away.
+        Two natural-indexed PD layers of p=4 already mix all positions."""
+        layers = [_pd((16, 16), 4, scheme="natural") for _ in range(2)]
+        assert is_fully_connected(layers)
+
+    def test_random_indexing_fully_connected(self):
+        layers = [
+            _pd((16, 16), 4, scheme="random", seed=s) for s in range(3)
+        ]
+        assert is_fully_connected(layers)
+
+    def test_one_layer_alone_is_not_fully_connected(self):
+        """A single PD layer with p>1 cannot connect everything -- depth
+        (and varying k_l) is what restores connectivity."""
+        assert connectivity_fraction([_pd((16, 16), 4)]) < 1.0
+
+    def test_connectivity_grows_with_depth(self):
+        stacks = [
+            [_pd((16, 16), 8, scheme="natural") for _ in range(depth)]
+            for depth in (1, 2, 3)
+        ]
+        fracs = [connectivity_fraction(stack) for stack in stacks]
+        assert fracs[0] < fracs[1] <= fracs[2]
+
+
+class TestStorageComparison:
+    def test_pd_always_cheaper_at_same_nnz(self):
+        for point in storage_comparison_curve():
+            assert point.pd_advantage > 1.0
+
+    def test_advantage_close_to_index_overhead_ratio(self):
+        """With 4-bit weights + 4-bit indices, unstructured pays ~2x
+        (EIE's '8 bits instead of 4' from Sec. II-B)."""
+        point = storage_comparison_curve(compressions=(10,))[0]
+        assert 1.8 < point.pd_advantage < 2.2
+
+    def test_curve_covers_requested_compressions(self):
+        curve = storage_comparison_curve(compressions=(2, 4, 8))
+        assert [pt.compression for pt in curve] == [2, 4, 8]
+
+    def test_bits_decrease_with_compression(self):
+        curve = storage_comparison_curve(compressions=(2, 4, 8, 16))
+        pd_bits = [pt.pd_bits for pt in curve]
+        assert pd_bits == sorted(pd_bits, reverse=True)
+
+    def test_as_row_format(self):
+        row = storage_comparison_curve(compressions=(4,))[0].as_row()
+        assert row[0] == 4 and len(row) == 4

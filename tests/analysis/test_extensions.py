@@ -1,0 +1,64 @@
+"""Tests for approximation power and memory-energy analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AccessEnergyModel,
+    approximation_error_curve,
+    fit_function,
+    weight_access_energy,
+)
+
+
+class TestApproximationPower:
+    def test_fit_returns_reasonable_error(self):
+        result = fit_function(width=16, p=4, steps=200, seed=0)
+        assert result.width == 16
+        assert result.parameters > 0
+        assert 0.0 < result.l2_error < 2.0
+
+    def test_pd_parameter_count_below_dense(self):
+        dense = fit_function(width=32, p=None, steps=50, seed=0)
+        compressed = fit_function(width=32, p=4, steps=50, seed=0)
+        assert compressed.parameters < dense.parameters
+
+    def test_error_decreases_with_width(self):
+        """The O(1/n) claim, qualitatively: more parameters, less error."""
+        curve = approximation_error_curve(widths=(8, 32), p=4, steps=400, seed=0)
+        assert curve[-1].l2_error < curve[0].l2_error
+
+    def test_curve_covers_requested_widths(self):
+        curve = approximation_error_curve(widths=(8, 16), p=2, steps=50)
+        assert [r.width for r in curve] == [8, 16]
+
+
+class TestMemoryEnergy:
+    def test_on_chip_when_fits(self):
+        report = weight_access_energy(1000, 2000)
+        assert report.fits_on_chip
+        assert report.energy_uj == pytest.approx(1000 * 5.0 / 1e6)
+
+    def test_off_chip_overflow_pays_dram(self):
+        model = AccessEnergyModel(sram_pj=5.0, dram_pj=640.0)
+        report = weight_access_energy(2000, 1000, model)
+        assert not report.fits_on_chip
+        expected = (1000 * 5.0 + 1000 * 640.0) / 1e6
+        assert report.energy_uj == pytest.approx(expected)
+
+    def test_dram_premium_over_100x(self):
+        """The paper's premise: DRAM >100x SRAM energy."""
+        model = AccessEnergyModel()
+        assert model.dram_pj / model.sram_pj > 100
+
+    def test_compression_that_fits_saves_big(self):
+        """PD compression that brings a model on-chip: the motivation."""
+        budget = 10_000
+        dense = weight_access_energy(80_000, budget)
+        compressed = weight_access_energy(8_000, budget)  # 10x compression
+        assert compressed.fits_on_chip and not dense.fits_on_chip
+        assert dense.energy_uj / compressed.energy_uj > 100
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            weight_access_energy(-1, 10)

@@ -1,0 +1,127 @@
+"""Tests for optimal PD approximation (Sec. III-F)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import approximate_pd, approximate_pd_tensor
+from repro.core.approximation import best_permutation_parameters, diagonal_energies
+
+
+class TestDiagonalEnergies:
+    def test_shape(self):
+        energies = diagonal_energies(np.ones((8, 12)), p=4)
+        assert energies.shape == (2, 3, 4)
+
+    def test_uniform_matrix_has_equal_energies(self):
+        energies = diagonal_energies(np.ones((4, 4)), p=4)
+        np.testing.assert_allclose(energies, 4.0)
+
+    def test_identity_block_prefers_zero_shift(self):
+        energies = diagonal_energies(np.eye(4), p=4)
+        assert energies[0, 0, 0] == pytest.approx(4.0)
+        np.testing.assert_allclose(energies[0, 0, 1:], 0.0)
+
+    def test_energy_is_sum_of_squares_on_shifted_diagonal(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(3, 3))
+        energies = diagonal_energies(dense, p=3)
+        for s in range(3):
+            expected = sum(dense[c, (c + s) % 3] ** 2 for c in range(3))
+            assert energies[0, 0, s] == pytest.approx(expected)
+
+
+class TestBestPermutation:
+    def test_picks_max_energy_shift(self):
+        dense = np.zeros((4, 4))
+        for c in range(4):
+            dense[c, (c + 2) % 4] = 5.0  # all energy on shift 2
+        assert best_permutation_parameters(dense, 4)[0, 0] == 2
+
+    @given(st.integers(1, 6), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=25)
+    def test_best_beats_all_fixed_shifts(self, p, mb, nb):
+        rng = np.random.default_rng(p + 10 * mb + 100 * nb)
+        dense = rng.normal(size=(mb * p, nb * p))
+        best = approximate_pd(dense, p, scheme="best")
+        best_err = best.frobenius_error(dense)
+        # exhaustive: any uniform shift assignment cannot beat per-block best
+        for shift in range(p):
+            from repro.core import BlockPermutedDiagonalMatrix
+
+            ks = np.full((mb, nb), shift)
+            cand = BlockPermutedDiagonalMatrix.from_dense(dense, p, ks=ks)
+            assert best_err <= cand.frobenius_error(dense) + 1e-9
+
+
+class TestApproximatePD:
+    def test_projection_keeps_support_entries_exactly(self):
+        rng = np.random.default_rng(1)
+        dense = rng.normal(size=(6, 9))
+        approx = approximate_pd(dense, p=3)
+        mask = approx.dense_mask()
+        np.testing.assert_allclose(approx.to_dense()[mask], dense[mask])
+
+    def test_p1_is_lossless(self):
+        rng = np.random.default_rng(2)
+        dense = rng.normal(size=(5, 7))
+        approx = approximate_pd(dense, p=1)
+        np.testing.assert_allclose(approx.to_dense(), dense)
+
+    def test_error_decreases_with_smaller_p(self):
+        rng = np.random.default_rng(3)
+        dense = rng.normal(size=(24, 24))
+        errs = [
+            approximate_pd(dense, p, scheme="best").frobenius_error(dense)
+            for p in (1, 2, 4, 8)
+        ]
+        assert errs == sorted(errs)
+
+    def test_random_scheme_seeded(self):
+        rng = np.random.default_rng(4)
+        dense = rng.normal(size=(8, 8))
+        a = approximate_pd(dense, 4, scheme="random", seed=9)
+        b = approximate_pd(dense, 4, scheme="random", seed=9)
+        np.testing.assert_allclose(a.to_dense(), b.to_dense())
+
+    def test_l2_optimality_vs_exhaustive_small_case(self):
+        # For a single 3x3 block, enumerate every possible "keep one entry
+        # per row, cyclic-shift pattern" and confirm "best" wins.
+        rng = np.random.default_rng(5)
+        dense = rng.normal(size=(3, 3))
+        best = approximate_pd(dense, 3, scheme="best").frobenius_error(dense)
+        for k in range(3):
+            kept = np.zeros((3, 3))
+            for c in range(3):
+                kept[c, (c + k) % 3] = dense[c, (c + k) % 3]
+            assert best <= np.linalg.norm(dense - kept) + 1e-12
+
+
+class TestApproximateTensor:
+    def test_projection_matches_channel_mask(self):
+        rng = np.random.default_rng(6)
+        dense = rng.normal(size=(8, 8, 3, 3))
+        approx = approximate_pd_tensor(dense, p=4)
+        mask = approx.dense_mask()
+        np.testing.assert_allclose(approx.to_dense()[mask], dense[mask])
+        assert np.all(approx.to_dense()[~mask] == 0)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            approximate_pd_tensor(np.zeros((2, 2)), 2)
+
+    def test_best_scheme_beats_natural(self):
+        rng = np.random.default_rng(7)
+        dense = rng.normal(size=(8, 8, 3, 3))
+        best = approximate_pd_tensor(dense, 4, scheme="best")
+        nat = approximate_pd_tensor(dense, 4, scheme="natural")
+        err_best = np.linalg.norm(dense - best.to_dense())
+        err_nat = np.linalg.norm(dense - nat.to_dense())
+        assert err_best <= err_nat + 1e-9
+
+    def test_compression_ratio_is_p(self):
+        approx = approximate_pd_tensor(np.ones((8, 8, 3, 3)), p=4)
+        assert approx.compression_ratio == pytest.approx(4.0)

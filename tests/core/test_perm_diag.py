@@ -1,0 +1,139 @@
+"""Tests for the single-block PermutedDiagonalMatrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PermutedDiagonalMatrix
+
+
+def _random_pd(p, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return PermutedDiagonalMatrix(rng.normal(size=p), k)
+
+
+class TestConstruction:
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError):
+            PermutedDiagonalMatrix(np.zeros((2, 2)), 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PermutedDiagonalMatrix(np.array([]), 0)
+
+    def test_k_reduced_modulo_p(self):
+        pd = PermutedDiagonalMatrix(np.ones(4), 9)
+        assert pd.k == 1
+
+    def test_shape_and_nnz(self):
+        pd = _random_pd(6, 2)
+        assert pd.shape == (6, 6)
+        assert pd.nnz == 6
+
+    def test_identity_like(self):
+        eye = PermutedDiagonalMatrix.identity_like(4, 0)
+        np.testing.assert_array_equal(eye.to_dense(), np.eye(4))
+
+    def test_identity_like_shifted_is_permutation_matrix(self):
+        perm = PermutedDiagonalMatrix.identity_like(4, 1).to_dense()
+        assert perm.sum() == 4
+        np.testing.assert_array_equal(perm.sum(axis=0), np.ones(4))
+        np.testing.assert_array_equal(perm.sum(axis=1), np.ones(4))
+
+
+class TestDenseRoundTrip:
+    @given(st.integers(1, 16), st.integers(0, 40))
+    @settings(max_examples=30)
+    def test_from_dense_recovers_pd(self, p, k):
+        pd = _random_pd(p, k, seed=p * 41 + k)
+        again = PermutedDiagonalMatrix.from_dense(pd.to_dense(), pd.k)
+        np.testing.assert_allclose(again.to_dense(), pd.to_dense())
+
+    def test_from_dense_drops_off_diagonal(self):
+        dense = np.full((3, 3), 7.0)
+        pd = PermutedDiagonalMatrix.from_dense(dense, k=1)
+        assert pd.to_dense().sum() == pytest.approx(21.0)
+        assert (pd.to_dense() != 0).sum() == 3
+
+    def test_from_dense_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            PermutedDiagonalMatrix.from_dense(np.zeros((2, 3)), 0)
+
+    def test_nonzero_positions_match_eqn1(self):
+        pd = _random_pd(5, 3)
+        dense = pd.to_dense()
+        for c in range(5):
+            nz = np.flatnonzero(dense[c])
+            assert nz.tolist() == [(c + 3) % 5]
+
+
+class TestProducts:
+    @given(st.integers(1, 24), st.integers(0, 24))
+    @settings(max_examples=30)
+    def test_matvec_matches_dense(self, p, k):
+        rng = np.random.default_rng(p + 100 * k)
+        pd = PermutedDiagonalMatrix(rng.normal(size=p), k)
+        x = rng.normal(size=p)
+        np.testing.assert_allclose(pd.matvec(x), pd.to_dense() @ x)
+
+    @given(st.integers(1, 24), st.integers(0, 24))
+    @settings(max_examples=30)
+    def test_rmatvec_matches_dense_transpose(self, p, k):
+        rng = np.random.default_rng(p + 100 * k + 7)
+        pd = PermutedDiagonalMatrix(rng.normal(size=p), k)
+        y = rng.normal(size=p)
+        np.testing.assert_allclose(pd.rmatvec(y), pd.to_dense().T @ y)
+
+    def test_matvec_shape_check(self):
+        with pytest.raises(ValueError):
+            _random_pd(4, 1).matvec(np.zeros(5))
+
+    def test_rmatvec_shape_check(self):
+        with pytest.raises(ValueError):
+            _random_pd(4, 1).rmatvec(np.zeros(3))
+
+    def test_matmul_operator_vector(self):
+        pd = _random_pd(5, 2)
+        x = np.arange(5.0)
+        np.testing.assert_allclose(pd @ x, pd.matvec(x))
+
+
+class TestAlgebra:
+    @given(st.integers(1, 12), st.integers(0, 12), st.integers(0, 12))
+    @settings(max_examples=30)
+    def test_composition_matches_dense(self, p, k1, k2):
+        rng = np.random.default_rng(p * 7 + k1 * 13 + k2)
+        a = PermutedDiagonalMatrix(rng.normal(size=p), k1)
+        b = PermutedDiagonalMatrix(rng.normal(size=p), k2)
+        np.testing.assert_allclose(
+            (a @ b).to_dense(), a.to_dense() @ b.to_dense(), atol=1e-12
+        )
+
+    def test_composition_adds_shifts(self):
+        a = PermutedDiagonalMatrix.identity_like(5, 2)
+        b = PermutedDiagonalMatrix.identity_like(5, 4)
+        assert (a @ b).k == (2 + 4) % 5
+
+    def test_composition_size_mismatch(self):
+        with pytest.raises(ValueError):
+            _random_pd(4, 0) @ _random_pd(5, 0)
+
+    @given(st.integers(1, 16), st.integers(0, 16))
+    @settings(max_examples=30)
+    def test_transpose_matches_dense(self, p, k):
+        pd = _random_pd(p, k, seed=p * 3 + k)
+        np.testing.assert_allclose(pd.transpose().to_dense(), pd.to_dense().T)
+
+    def test_transpose_parameter(self):
+        pd = _random_pd(7, 3)
+        assert pd.transpose().k == 4
+
+    def test_double_transpose_identity(self):
+        pd = _random_pd(6, 5)
+        np.testing.assert_allclose(
+            pd.transpose().transpose().to_dense(), pd.to_dense()
+        )
+
+    def test_repr_mentions_p_and_k(self):
+        assert "p=4" in repr(_random_pd(4, 2))

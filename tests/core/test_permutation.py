@@ -1,0 +1,122 @@
+"""Tests for permutation-parameter selection and Eqn. (1) index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.permutation import (
+    PermutationSpec,
+    block_index,
+    natural_permutation,
+    nonzero_column,
+    nonzero_row,
+    random_permutation,
+)
+
+
+class TestNaturalPermutation:
+    def test_matches_paper_example(self):
+        # "for a 4-by-16 block-permuted diagonal weight matrix with p = 4,
+        #  k0 ~ k3 is set as 0 ~ 3"
+        ks = natural_permutation(4, 4)
+        assert ks.tolist() == [0, 1, 2, 3]
+
+    def test_wraps_modulo_p(self):
+        ks = natural_permutation(10, 4)
+        assert ks.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_zero_blocks(self):
+        assert natural_permutation(0, 4).size == 0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            natural_permutation(4, 0)
+
+    def test_rejects_negative_blocks(self):
+        with pytest.raises(ValueError):
+            natural_permutation(-1, 4)
+
+
+class TestRandomPermutation:
+    def test_values_in_range(self):
+        ks = random_permutation(1000, 7, rng=0)
+        assert ks.min() >= 0 and ks.max() < 7
+
+    def test_seed_reproducible(self):
+        a = random_permutation(50, 5, rng=123)
+        b = random_permutation(50, 5, rng=123)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = random_permutation(50, 5, rng=1)
+        b = random_permutation(50, 5, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_accepts_generator(self):
+        gen = np.random.default_rng(7)
+        ks = random_permutation(10, 3, rng=gen)
+        assert ks.shape == (10,)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            random_permutation(4, -1)
+
+
+class TestBlockIndex:
+    def test_matches_eqn1_formula(self):
+        # l = (i // p) * (n // p) + (j // p)
+        assert block_index(0, 0, p=4, n=16) == 0
+        assert block_index(0, 15, p=4, n=16) == 3
+        assert block_index(5, 9, p=4, n=16) == 1 * 4 + 2
+
+    def test_requires_divisible_n(self):
+        with pytest.raises(ValueError):
+            block_index(0, 0, p=4, n=10)
+
+    def test_row_major_enumeration(self):
+        p, m, n = 2, 6, 4
+        seen = [
+            block_index(i, j, p, n)
+            for i in range(0, m, p)
+            for j in range(0, n, p)
+        ]
+        assert seen == list(range((m // p) * (n // p)))
+
+
+class TestNonzeroIndexing:
+    @given(st.integers(1, 64), st.integers(0, 1000))
+    def test_row_column_are_inverse(self, p, k):
+        c = np.arange(p)
+        d = nonzero_column(c, k, p)
+        np.testing.assert_array_equal(nonzero_row(d, k, p), c)
+
+    @given(st.integers(1, 32), st.integers(0, 100))
+    def test_column_map_is_permutation(self, p, k):
+        cols = nonzero_column(np.arange(p), k, p)
+        assert sorted(cols.tolist()) == list(range(p))
+
+    def test_zero_shift_is_plain_diagonal(self):
+        c = np.arange(5)
+        np.testing.assert_array_equal(nonzero_column(c, 0, 5), c)
+
+    def test_negative_k_handled_by_row_lookup(self):
+        # nonzero_row normalizes k modulo p internally.
+        d = np.arange(6)
+        np.testing.assert_array_equal(
+            nonzero_row(d, -2, 6), nonzero_row(d, 4, 6)
+        )
+
+
+class TestPermutationSpec:
+    def test_natural_default(self):
+        spec = PermutationSpec()
+        np.testing.assert_array_equal(spec.generate(6, 3), [0, 1, 2, 0, 1, 2])
+
+    def test_random_seeded(self):
+        spec = PermutationSpec(scheme="random", seed=42)
+        np.testing.assert_array_equal(spec.generate(8, 4), spec.generate(8, 4))
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            PermutationSpec(scheme="fancy")

@@ -1,0 +1,159 @@
+"""Tests for the synthetic dataset substitutes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GaussianMixtureDataset,
+    TranslationCorpus,
+    Vocabulary,
+    make_cifar_like,
+    make_digits,
+)
+
+
+class TestGaussianMixture:
+    def test_shapes(self):
+        ds = GaussianMixtureDataset(num_features=32, num_classes=5)
+        x, y = ds.sample(100, rng=0)
+        assert x.shape == (100, 32)
+        assert y.shape == (100,)
+        assert y.min() >= 0 and y.max() < 5
+
+    def test_reproducible(self):
+        ds = GaussianMixtureDataset(seed=7)
+        x1, y1 = ds.sample(10, rng=3)
+        x2, y2 = ds.sample(10, rng=3)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_separation_controls_difficulty(self):
+        """A trivial nearest-mean classifier should do better with more
+        separation -- the knob the benchmarks rely on."""
+
+        def nearest_mean_accuracy(sep):
+            ds = GaussianMixtureDataset(
+                num_features=16, num_classes=4, separation=sep, seed=0
+            )
+            x, y = ds.sample(500, rng=1)
+            dists = ((x[:, None, :] - ds._means[None]) ** 2).sum(axis=2)
+            return (dists.argmin(axis=1) == y).mean()
+
+        assert nearest_mean_accuracy(6.0) > nearest_mean_accuracy(0.5)
+
+    def test_validates_config(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureDataset(num_features=0)
+        with pytest.raises(ValueError):
+            GaussianMixtureDataset(num_classes=1)
+
+    def test_train_test_split_disjoint_draws(self):
+        ds = GaussianMixtureDataset(seed=0)
+        x_train, y_train, x_test, y_test = ds.train_test_split(50, 20)
+        assert x_train.shape[0] == 50 and x_test.shape[0] == 20
+
+
+class TestDigits:
+    def test_shapes_and_range(self):
+        x, y = make_digits(50, seed=0)
+        assert x.shape == (50, 1, 28, 28)
+        assert y.shape == (50,)
+        assert x.min() >= 0.0
+
+    def test_all_ten_classes_renderable(self):
+        x, y = make_digits(200, seed=1)
+        assert set(np.unique(y)) == set(range(10))
+
+    def test_classes_are_visually_distinct(self):
+        """Noise-free class templates must differ pairwise."""
+        x, y = make_digits(400, noise=0.0, max_shift=0, seed=2)
+        templates = [x[y == digit][0, 0] for digit in range(10)]
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert np.abs(templates[a] - templates[b]).sum() > 1.0
+
+    def test_custom_size(self):
+        x, _ = make_digits(5, image_size=20, seed=3)
+        assert x.shape == (5, 1, 20, 20)
+
+    def test_noise_increases_variance(self):
+        clean, _ = make_digits(20, noise=0.0, seed=4)
+        noisy, _ = make_digits(20, noise=0.5, seed=4)
+        assert noisy.var() > clean.var()
+
+
+class TestCifarLike:
+    def test_shapes(self):
+        x, y = make_cifar_like(30, seed=0)
+        assert x.shape == (30, 3, 32, 32)
+        assert y.shape == (30,)
+
+    def test_num_classes_limit(self):
+        with pytest.raises(ValueError):
+            make_cifar_like(10, num_classes=17)
+
+    def test_classes_distinguishable_by_spectrum(self):
+        """Per-class mean spectra should differ (textures are separable)."""
+        x, y = make_cifar_like(300, num_classes=4, noise=0.05, seed=1)
+        spectra = []
+        for cls in range(4):
+            imgs = x[y == cls][:, 0]
+            mag = np.abs(np.fft.fft2(imgs)).mean(axis=0)
+            spectra.append(mag / mag.sum())
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert np.abs(spectra[a] - spectra[b]).sum() > 1e-3
+
+    def test_custom_image_size(self):
+        x, _ = make_cifar_like(4, image_size=16, seed=2)
+        assert x.shape == (4, 3, 16, 16)
+
+
+class TestTranslationCorpus:
+    def test_vocabulary_reserved_ids(self):
+        vocab = Vocabulary(16)
+        assert (vocab.PAD, vocab.BOS, vocab.EOS) == (0, 1, 2)
+        assert vocab.num_content == 13
+
+    def test_vocab_minimum_size(self):
+        with pytest.raises(ValueError):
+            Vocabulary(4)
+
+    def test_translation_is_deterministic(self):
+        corpus = TranslationCorpus(seed=0)
+        sentence = [3, 4, 5, 6]
+        assert corpus.translate(sentence) == corpus.translate(sentence)
+
+    def test_translation_is_bijective_mapping_with_swaps(self):
+        corpus = TranslationCorpus(vocab_size=16, seed=1)
+        source = [3, 4, 5, 6]
+        target = corpus.translate(source)
+        assert len(target) == len(source)
+        # undo the swap, then the dictionary must invert
+        unswapped = target.copy()
+        for idx in range(0, len(unswapped) - 1, 2):
+            unswapped[idx], unswapped[idx + 1] = unswapped[idx + 1], unswapped[idx]
+        inverse = {v: k for k, v in corpus._dictionary.items()}
+        assert [inverse[tok] for tok in unswapped] == source
+
+    def test_sample_pairs_lengths(self):
+        corpus = TranslationCorpus(min_len=3, max_len=5, seed=2)
+        pairs = corpus.sample_pairs(50, rng=0)
+        assert all(3 <= len(s) <= 5 for s, _ in pairs)
+        assert all(len(s) == len(t) for s, t in pairs)
+
+    def test_to_batch_layout(self):
+        corpus = TranslationCorpus(vocab_size=16, min_len=2, max_len=3, seed=3)
+        pairs = [([3, 4], [5, 6]), ([3, 4, 5], [6, 7, 8])]
+        src, tgt_in, tgt_out = corpus.to_batch(pairs)
+        vocab = corpus.vocab
+        assert src.shape == (2, 3)
+        assert tgt_in[0, 0] == vocab.BOS
+        assert tgt_out[0, 2] == vocab.EOS
+        assert src[0, 2] == vocab.PAD  # padded short sentence
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            TranslationCorpus(min_len=1, max_len=3)
+        with pytest.raises(ValueError):
+            TranslationCorpus(min_len=4, max_len=3)

@@ -1,0 +1,243 @@
+"""Tests for the EIE and CirCNN baseline simulators."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.hw import TABLE_VII_WORKLOADS, PermDNNEngine, make_workload_instance
+from repro.hw.baselines import (
+    CirCNNConfig,
+    CirCNNSimulator,
+    EIEConfig,
+    EIESimulator,
+)
+
+
+def _dense_block_circulant(first_columns):
+    mb, nb, k = first_columns.shape
+    dense = np.zeros((mb * k, nb * k))
+    for bi in range(mb):
+        for bj in range(nb):
+            w = first_columns[bi, bj]
+            for r in range(k):
+                for c in range(k):
+                    dense[bi * k + r, bj * k + c] = w[(r - c) % k]
+    return dense
+
+
+class TestEIEFunctional:
+    def test_output_matches_sparse_matvec(self):
+        rng = np.random.default_rng(0)
+        weight = EIESimulator.prune_reference((64, 128), 0.1, rng=rng)
+        x = rng.normal(size=128) * (rng.random(128) > 0.5)
+        result = EIESimulator(EIEConfig.projected_28nm()).run_fc_layer(weight, x)
+        np.testing.assert_allclose(result.output, weight @ x)
+
+    def test_input_shape_check(self):
+        weight = EIESimulator.prune_reference((8, 8), 0.5, rng=0)
+        with pytest.raises(ValueError):
+            EIESimulator(EIEConfig.projected_28nm()).run_fc_layer(
+                weight, np.zeros(4)
+            )
+
+    def test_needs_clock(self):
+        with pytest.raises(ValueError):
+            EIESimulator(EIEConfig())  # no clock set
+
+    def test_prune_reference_density(self):
+        weight = EIESimulator.prune_reference((100, 100), 0.1, rng=0)
+        assert weight.nnz == 1000
+
+
+class TestEIECycleModel:
+    def test_zero_input_skipped(self):
+        weight = EIESimulator.prune_reference((64, 64), 0.2, rng=0)
+        sim = EIESimulator(EIEConfig.projected_28nm())
+        x = np.zeros(64)
+        result = sim.run_fc_layer(weight, x)
+        assert result.cycles == 0 and result.macs == 0
+
+    def test_load_imbalance_at_least_one(self):
+        weight = EIESimulator.prune_reference((256, 256), 0.1, rng=1)
+        sim = EIESimulator(EIEConfig.projected_28nm())
+        result = sim.run_fc_layer(weight, np.ones(256))
+        assert result.load_imbalance >= 1.0
+
+    def test_skewed_matrix_suffers_imbalance(self):
+        """All non-zeros on rows owned by one PE: cycles ~= total work,
+        not total work / n_pe."""
+        # every nnz sits on a row that is 0 mod 64 -> all work lands on PE 0
+        rows = (np.arange(512) // 64) * 64
+        cols = np.arange(512) % 64
+        weight = sparse.csc_matrix(
+            (np.ones(512), (rows, cols)), shape=(512, 64)
+        )
+        sim = EIESimulator(EIEConfig.projected_28nm())
+        balanced = EIESimulator.prune_reference((128, 64), 512 / (128 * 64), rng=2)
+        skewed_res = sim.run_fc_layer(weight, np.ones(64))
+        balanced_res = sim.run_fc_layer(balanced, np.ones(64))
+        assert skewed_res.cycles > 2 * balanced_res.cycles
+
+    def test_deeper_fifo_hides_imbalance(self):
+        weight = EIESimulator.prune_reference((512, 512), 0.1, rng=3)
+        x = np.ones(512)
+        shallow = EIESimulator(EIEConfig.projected_28nm(fifo_depth=1)).run_fc_layer(
+            weight, x
+        )
+        deep = EIESimulator(EIEConfig.projected_28nm(fifo_depth=64)).run_fc_layer(
+            weight, x
+        )
+        assert deep.cycles <= shallow.cycles
+
+    def test_pointer_overhead_costs_cycles(self):
+        weight = EIESimulator.prune_reference((256, 256), 0.1, rng=4)
+        x = np.ones(256)
+        with_ptr = EIESimulator(
+            EIEConfig.projected_28nm(pointer_overhead_cycles=1)
+        ).run_fc_layer(weight, x)
+        without = EIESimulator(
+            EIEConfig.projected_28nm(pointer_overhead_cycles=0)
+        ).run_fc_layer(weight, x)
+        assert with_ptr.cycles > without.cycles
+
+    def test_storage_charges_index_bits(self):
+        """EIE stores 8 bits per weight (4 value + 4 index): double the
+        4-bit PD cost -- the Fig. 4 storage argument."""
+        weight = EIESimulator.prune_reference((64, 64), 0.25, rng=5)
+        sim = EIESimulator(EIEConfig.projected_28nm())
+        result = sim.run_fc_layer(weight, np.ones(64))
+        assert result.storage_bits >= weight.nnz * 8
+
+
+class TestFig12Comparison:
+    """The headline EIE-vs-PermDNN ratios (Fig. 12) at paper configuration."""
+
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        engine = PermDNNEngine()
+        eie = EIESimulator(EIEConfig.projected_28nm())
+        out = {}
+        for workload in TABLE_VII_WORKLOADS[:3]:
+            matrix, x = make_workload_instance(workload, rng=0)
+            perm = engine.performance(
+                engine.run_fc_layer(matrix, x), (workload.m, workload.n)
+            )
+            pruned = EIESimulator.prune_reference(
+                (workload.m, workload.n), workload.weight_density, rng=1
+            )
+            ref = eie.performance(
+                eie.run_fc_layer(pruned, x), (workload.m, workload.n)
+            )
+            out[workload.name] = (
+                perm.speedup_over(ref),
+                perm.area_efficiency_ratio(ref),
+                perm.energy_efficiency_ratio(ref),
+            )
+        return out
+
+    def test_speedup_in_paper_band(self, ratios):
+        speedups = [v[0] for v in ratios.values()]
+        assert 3.0 < min(speedups) and max(speedups) < 5.2  # paper: 3.3-4.8
+
+    def test_area_efficiency_in_paper_band(self, ratios):
+        areas = [v[1] for v in ratios.values()]
+        assert 5.3 < min(areas) and max(areas) < 9.2  # paper: 5.9-8.5
+
+    def test_energy_efficiency_in_paper_band(self, ratios):
+        energies = [v[2] for v in ratios.values()]
+        assert 2.5 < min(energies) and max(energies) < 4.4  # paper: 2.8-4.0
+
+    def test_fc8_sees_largest_speedup(self, ratios):
+        """Paper ordering: Alex-FC8 (p=4, smallest layer) benefits most."""
+        assert ratios["Alex-FC8"][0] == max(v[0] for v in ratios.values())
+
+
+class TestCirCNNFunctional:
+    def test_matches_dense_block_circulant(self):
+        rng = np.random.default_rng(0)
+        first_columns = rng.normal(size=(3, 5, 8))
+        x = rng.normal(size=40)
+        result = CirCNNSimulator(CirCNNConfig.projected_28nm()).run_fc_layer(
+            first_columns, x
+        )
+        dense = _dense_block_circulant(first_columns)
+        np.testing.assert_allclose(result.output, dense @ x, atol=1e-10)
+
+    def test_short_input_zero_padded(self):
+        rng = np.random.default_rng(1)
+        first_columns = rng.normal(size=(2, 2, 4))
+        result = CirCNNSimulator(CirCNNConfig.projected_28nm()).run_fc_layer(
+            first_columns, rng.normal(size=6)
+        )
+        assert result.output.shape == (8,)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            CirCNNSimulator(CirCNNConfig.projected_28nm()).run_fc_layer(
+                np.zeros((2, 2)), np.zeros(4)
+            )
+
+    def test_rejects_too_long_input(self):
+        with pytest.raises(ValueError):
+            CirCNNSimulator(CirCNNConfig.projected_28nm()).run_fc_layer(
+                np.zeros((2, 2, 4)), np.zeros(9)
+            )
+
+
+class TestCirCNNCycleModel:
+    def test_cannot_exploit_input_sparsity(self):
+        """The PermDNN argument: zeros in x don't help CirCNN at all."""
+        rng = np.random.default_rng(2)
+        first_columns = rng.normal(size=(4, 4, 8))
+        sim = CirCNNSimulator(CirCNNConfig.projected_28nm())
+        dense_x = rng.normal(size=32)
+        sparse_x = dense_x * (rng.random(32) < 0.3)
+        assert (
+            sim.run_fc_layer(first_columns, dense_x).cycles
+            == sim.run_fc_layer(first_columns, sparse_x).cycles
+        )
+        assert sim.run_fc_layer(first_columns, sparse_x).input_sparsity_wasted > 0.5
+
+    def test_complex_ops_cost_4x_real(self):
+        rng = np.random.default_rng(3)
+        first_columns = rng.normal(size=(2, 2, 8))
+        result = CirCNNSimulator(CirCNNConfig.projected_28nm()).run_fc_layer(
+            first_columns, rng.normal(size=16)
+        )
+        assert result.real_mult_ops == 4 * result.complex_mults
+
+    def test_weight_fft_precompute_saves_cycles(self):
+        rng = np.random.default_rng(4)
+        first_columns = rng.normal(size=(4, 4, 16))
+        x = rng.normal(size=64)
+        pre = CirCNNSimulator(
+            CirCNNConfig(n_real_mul=256, clock_ghz=0.32, fft_precomputed_weights=True)
+        ).run_fc_layer(first_columns, x)
+        live = CirCNNSimulator(
+            CirCNNConfig(n_real_mul=256, clock_ghz=0.32, fft_precomputed_weights=False)
+        ).run_fc_layer(first_columns, x)
+        assert pre.cycles < live.cycles
+
+    def test_needs_at_least_one_complex_lane(self):
+        with pytest.raises(ValueError):
+            CirCNNSimulator(CirCNNConfig(n_real_mul=2, clock_ghz=0.2))
+
+    def test_permdnn_beats_circnn_with_equal_multipliers(self):
+        """Mechanism check (Sec. III-H): same real-multiplier budget, same
+        compression -> PermDNN wins by ~4x arithmetic + input sparsity."""
+        workload = TABLE_VII_WORKLOADS[0]  # 35.8% input density
+        matrix, x = make_workload_instance(workload, rng=0)
+        engine = PermDNNEngine()
+        perm = engine.performance(
+            engine.run_fc_layer(matrix, x), (workload.m, workload.n)
+        )
+        n_real = engine.config.peak_macs_per_cycle  # same multiplier budget
+        circ = CirCNNSimulator(
+            CirCNNConfig(n_real_mul=n_real, clock_ghz=engine.config.clock_ghz)
+        )
+        mb, nb = workload.m // 8, workload.n // 8
+        first_columns = np.random.default_rng(1).normal(size=(mb, nb, 8))
+        circ_perf = circ.performance(
+            circ.run_fc_layer(first_columns, x), (workload.m, workload.n)
+        )
+        assert perm.time_s < circ_perf.time_s / 4

@@ -1,0 +1,131 @@
+"""Tests for hardware configuration, technology scaling, area/power model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import AreaPowerModel, EngineConfig, PEConfig, project_design
+from repro.hw.baselines.circnn import CIRCNN_DESIGN_45NM
+from repro.hw.baselines.eie import EIE_DESIGN_45NM
+from repro.hw.technology import DesignPoint
+
+
+class TestPEConfig:
+    def test_defaults_match_table8(self):
+        pe = PEConfig()
+        assert pe.n_mul == 8 and pe.mul_width == 16
+        assert pe.n_acc == 128 and pe.acc_width == 24
+        assert pe.weight_sram_banks == 16
+        assert pe.weight_sram_width == 32 and pe.weight_sram_depth == 2048
+        assert pe.perm_sram_width == 48 and pe.perm_sram_depth == 2048
+
+    def test_weight_sram_is_128kb(self):
+        # Table VIII: 16 x 32bit x 2048 = 128 KB
+        assert PEConfig().weight_sram_bits == 128 * 1024 * 8
+
+    def test_perm_sram_is_12kb(self):
+        assert PEConfig().perm_sram_bits == 12 * 1024 * 8
+
+    def test_accumulator_banks(self):
+        assert PEConfig().accumulators_per_bank == 16  # 128 / 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PEConfig(n_mul=0)
+        with pytest.raises(ValueError):
+            PEConfig(n_mul=8, n_acc=100)  # not a multiple
+
+
+class TestEngineConfig:
+    def test_defaults_match_table8(self):
+        cfg = EngineConfig()
+        assert cfg.n_pe == 32
+        assert cfg.quant_bits == 16
+        assert cfg.weight_sharing_bits == 4
+        assert cfg.pipeline_stages == 5
+        assert cfg.act_sram_banks == 8
+        assert cfg.act_fifo_depth == 32
+
+    def test_peak_gops_is_614(self):
+        """32 PEs x 8 muls x 1.2 GHz x 2 ops = 614.4 GOPS (Sec. V-B)."""
+        assert EngineConfig().peak_gops == pytest.approx(614.4)
+
+    def test_group_write_rate(self):
+        # 8 banks x 64 bit / 16 bit = 32 activations per cycle
+        assert EngineConfig().activations_written_per_cycle == 32
+
+    def test_with_pes(self):
+        cfg = EngineConfig().with_pes(8)
+        assert cfg.n_pe == 8 and cfg.pe.n_mul == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(n_pe=0)
+        with pytest.raises(ValueError):
+            EngineConfig(clock_ghz=0)
+
+
+class TestTechnologyProjection:
+    def test_eie_projection_matches_table10(self):
+        """EIE 45nm (800 MHz, 40.8 mm2) -> 28nm (1285 MHz, 15.7 mm2)."""
+        projected = project_design(EIE_DESIGN_45NM, 28)
+        assert projected.clock_ghz == pytest.approx(1.285, abs=0.01)
+        assert projected.area_mm2 == pytest.approx(15.7, rel=0.02)
+        assert projected.power_w == pytest.approx(0.59)  # constant power
+
+    def test_circnn_projection_matches_table11(self):
+        """CirCNN 200 MHz @45nm -> ~320 MHz @28nm."""
+        projected = project_design(CIRCNN_DESIGN_45NM, 28)
+        assert projected.clock_ghz == pytest.approx(0.321, abs=0.002)
+        assert projected.area_mm2 is None
+
+    def test_same_node_is_identity(self):
+        point = DesignPoint("x", 28, 1.0, 10.0, 1.0)
+        projected = project_design(point, 28)
+        assert projected.clock_ghz == 1.0 and projected.area_mm2 == 10.0
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            project_design(DesignPoint("x", 0, 1.0, 1.0, 1.0), 28)
+
+
+class TestAreaPowerCalibration:
+    def test_pe_power_matches_table9(self):
+        breakdown = AreaPowerModel().pe_breakdown(PEConfig())
+        assert breakdown.total_power_mw == pytest.approx(21.874, rel=1e-6)
+        assert breakdown.power_mw["memory"] == pytest.approx(3.575)
+        assert breakdown.power_mw["combinational"] == pytest.approx(10.48)
+
+    def test_pe_area_matches_table9(self):
+        breakdown = AreaPowerModel().pe_breakdown(PEConfig())
+        assert breakdown.total_area_mm2 == pytest.approx(0.271, abs=0.001)
+        assert breakdown.area_mm2["memory"] == pytest.approx(0.178)
+
+    def test_engine_totals_match_table9(self):
+        model = AreaPowerModel()
+        engine = model.engine_breakdown(EngineConfig())
+        assert engine.total_power_w == pytest.approx(0.7034, rel=0.001)
+        assert engine.total_area_mm2 == pytest.approx(8.85, rel=0.002)
+
+    def test_power_scales_linearly_with_frequency(self):
+        model = AreaPowerModel()
+        slow = model.engine_power_w(EngineConfig(clock_ghz=0.6))
+        fast = model.engine_power_w(EngineConfig(clock_ghz=1.2))
+        assert fast == pytest.approx(2 * slow)
+
+    def test_area_grows_with_multipliers(self):
+        model = AreaPowerModel()
+        base = model.pe_breakdown(PEConfig()).total_area_mm2
+        wide = model.pe_breakdown(PEConfig(n_mul=16, n_acc=128)).total_area_mm2
+        assert wide > base
+
+    def test_area_independent_of_frequency(self):
+        model = AreaPowerModel()
+        a = model.engine_area_mm2(EngineConfig(clock_ghz=0.6))
+        b = model.engine_area_mm2(EngineConfig(clock_ghz=1.2))
+        assert a == pytest.approx(b)
+
+    def test_engine_power_scales_with_pes(self):
+        model = AreaPowerModel()
+        half = model.engine_power_w(EngineConfig(n_pe=16))
+        full = model.engine_power_w(EngineConfig(n_pe=32))
+        assert full == pytest.approx(2 * half, rel=0.01)

@@ -1,0 +1,154 @@
+"""Property-based invariants of the hardware simulators (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BlockPermutedDiagonalMatrix
+from repro.hw import EngineConfig, PEConfig, PermDNNEngine
+from repro.hw.baselines import EIEConfig, EIESimulator
+
+
+def _engine(n_pe, n_mul, n_acc):
+    return PermDNNEngine(
+        EngineConfig(n_pe=n_pe, pe=PEConfig(n_mul=n_mul, n_acc=n_acc))
+    )
+
+
+class TestEngineInvariants:
+    @given(
+        st.integers(1, 4).map(lambda v: 8 * v),    # m
+        st.integers(1, 4).map(lambda v: 8 * v),    # n
+        st.sampled_from([1, 2, 4, 8]),             # p
+        st.floats(0.0, 1.0),                       # input density
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_functional_equivalence_and_bounds(self, m, n, p, density):
+        rng = np.random.default_rng(m * 31 + n * 7 + p)
+        matrix = BlockPermutedDiagonalMatrix.random((m, n), p, rng=rng)
+        x = rng.normal(size=n) * (rng.random(n) < density)
+        engine = _engine(4, 2, 8)
+        result = engine.run_fc_layer(matrix, x, enforce_capacity=False)
+        # 1. exactness
+        np.testing.assert_allclose(result.output, matrix.matvec(x), atol=1e-10)
+        # 2. cycle accounting is self-consistent
+        assert result.cycles == (
+            engine.config.pipeline_stages
+            + result.compute_cycles
+            + result.writeback_cycles
+        )
+        # 3. zero-skip bookkeeping
+        assert result.nonzero_columns + result.skipped_columns == n
+        assert result.nonzero_columns == int(np.count_nonzero(x))
+        # 4. utilization in (0, 1]
+        assert 0.0 <= result.utilization <= 1.0
+        # 5. MACs never exceed multiplier-cycles available
+        assert result.macs <= result.compute_cycles * 4 * 2 + 1
+
+    @given(st.sampled_from([1, 2, 4, 8]), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_cycles_monotone_in_input_density(self, p, seed):
+        rng = np.random.default_rng(seed)
+        matrix = BlockPermutedDiagonalMatrix.random((32, 64), p, rng=rng)
+        engine = _engine(4, 2, 8)
+        x = rng.normal(size=64)
+        sparser = x * (rng.random(64) < 0.3)
+        dense_cycles = engine.run_fc_layer(matrix, x).cycles
+        sparse_cycles = engine.run_fc_layer(matrix, sparser).cycles
+        assert sparse_cycles <= dense_cycles
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_more_pes_never_slower(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = BlockPermutedDiagonalMatrix.random((64, 64), 4, rng=rng)
+        x = rng.normal(size=64)
+        cycles = [
+            PermDNNEngine(EngineConfig(n_pe=n, pe=PEConfig(n_mul=2, n_acc=8)))
+            .run_fc_layer(matrix, x, enforce_capacity=False)
+            .cycles
+            for n in (1, 2, 4, 8)
+        ]
+        assert all(b <= a for a, b in zip(cycles, cycles[1:]))
+
+
+class TestEIEInvariants:
+    @given(
+        st.integers(1, 4).map(lambda v: 32 * v),
+        st.floats(0.05, 0.4),
+        st.integers(1, 64),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_bounded_by_sync_and_balance_limits(
+        self, size, density, fifo_depth, seed
+    ):
+        """Event-sim cycles must lie between the infinite-FIFO load-balance
+        bound and the fully synchronized (depth-1) bound."""
+        rng = np.random.default_rng(seed)
+        weight = EIESimulator.prune_reference((size, size), density, rng=rng)
+        x = (rng.random(size) < 0.5).astype(float)
+        mid = EIESimulator(
+            EIEConfig.projected_28nm(fifo_depth=fifo_depth)
+        ).run_fc_layer(weight, x)
+        lower = EIESimulator(
+            EIEConfig.projected_28nm(fifo_depth=10**6)
+        ).run_fc_layer(weight, x)
+        upper = EIESimulator(
+            EIEConfig.projected_28nm(fifo_depth=1)
+        ).run_fc_layer(weight, x)
+        assert lower.cycles <= mid.cycles <= upper.cycles
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_functional_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        weight = EIESimulator.prune_reference((48, 48), 0.2, rng=rng)
+        x = rng.normal(size=48) * (rng.random(48) < 0.6)
+        result = EIESimulator(EIEConfig.projected_28nm()).run_fc_layer(weight, x)
+        np.testing.assert_allclose(result.output, weight @ x, atol=1e-10)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_macs_equal_touched_nonzeros(self, seed):
+        rng = np.random.default_rng(seed)
+        weight = EIESimulator.prune_reference((64, 64), 0.15, rng=rng)
+        x = np.zeros(64)
+        active = rng.choice(64, size=20, replace=False)
+        x[active] = 1.0
+        result = EIESimulator(EIEConfig.projected_28nm()).run_fc_layer(weight, x)
+        expected = sum(
+            weight.indptr[col + 1] - weight.indptr[col] for col in active
+        )
+        assert result.macs == expected
+
+
+class TestPermDiagInverse:
+    @given(st.integers(1, 16), st.integers(0, 16))
+    @settings(max_examples=30)
+    def test_inverse_is_exact(self, p, k):
+        from repro.core import PermutedDiagonalMatrix
+
+        rng = np.random.default_rng(p * 17 + k)
+        values = rng.uniform(0.5, 2.0, size=p) * rng.choice([-1, 1], size=p)
+        pd = PermutedDiagonalMatrix(values, k)
+        identity = (pd @ pd.inverse()).to_dense()
+        np.testing.assert_allclose(identity, np.eye(p), atol=1e-12)
+
+    def test_singular_rejected(self):
+        from repro.core import PermutedDiagonalMatrix
+
+        with pytest.raises(ZeroDivisionError):
+            PermutedDiagonalMatrix(np.array([1.0, 0.0, 2.0]), 1).inverse()
+
+    @given(st.integers(1, 12), st.integers(0, 12))
+    @settings(max_examples=20)
+    def test_inverse_matches_numpy(self, p, k):
+        from repro.core import PermutedDiagonalMatrix
+
+        rng = np.random.default_rng(p * 5 + k)
+        pd = PermutedDiagonalMatrix(rng.uniform(1.0, 3.0, size=p), k)
+        np.testing.assert_allclose(
+            pd.inverse().to_dense(), np.linalg.inv(pd.to_dense()), atol=1e-10
+        )

@@ -1,0 +1,182 @@
+"""Tests for the reference networks (AlexNet-FC, LeNet, ResNet, NMT)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TranslationCorpus, make_cifar_like, make_digits
+from repro.metrics import model_storage_report
+from repro.models import (
+    ALEXNET_FC_SHAPES,
+    RESNET20_POLICY,
+    WRN48_POLICY,
+    Seq2SeqNMT,
+    build_alexnet_fc,
+    build_lenet5,
+    build_resnet,
+)
+from repro.nn import Adam, CrossEntropyLoss, PermDiagLinear
+
+
+class TestAlexNetFC:
+    def test_paper_scale_shapes(self):
+        assert ALEXNET_FC_SHAPES == ((9216, 4096), (4096, 4096), (4096, 1000))
+
+    def test_scaled_model_runs(self):
+        model = build_alexnet_fc(scale=64, rng=0)
+        x = np.random.default_rng(0).normal(size=(4, 9216 // 64))
+        out = model.forward(x)
+        assert out.shape == (4, 1000 // 64)
+
+    def test_dense_variant(self):
+        model = build_alexnet_fc(p_values=None, scale=64, rng=0)
+        report = model_storage_report(model)
+        assert report.compression_ratio == pytest.approx(1.0)
+
+    def test_pd_block_sizes_applied(self):
+        model = build_alexnet_fc(scale=8, rng=0)
+        pd_layers = [m for m in model.modules() if isinstance(m, PermDiagLinear)]
+        assert [layer.p for layer in pd_layers] == [10, 10, 4]
+
+    def test_wrong_p_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_alexnet_fc(p_values=(10, 10), scale=8)
+
+    def test_paper_scale_compression_matches_table2(self):
+        """At paper scale the PD stack compresses ~9x (Table II)."""
+        model = build_alexnet_fc(scale=1, dropout=0.0, rng=0)
+        report = model_storage_report(model)
+        assert report.compression_ratio == pytest.approx(9.0, rel=0.05)
+
+
+class TestLeNet:
+    def test_forward_shape(self):
+        model = build_lenet5(rng=0)
+        x, _ = make_digits(4, seed=0)
+        assert model.forward(x).shape == (4, 10)
+
+    def test_pd_variant_compresses(self):
+        dense = model_storage_report(build_lenet5(rng=0))
+        compressed = model_storage_report(build_lenet5(conv_p=2, fc_p=8, rng=0))
+        assert compressed.compression_ratio > 2.0
+        assert dense.compression_ratio == pytest.approx(1.0)
+
+    def test_trains_on_digits(self):
+        from repro.nn import Trainer
+
+        x, y = make_digits(400, noise=0.1, max_shift=2, seed=0)
+        x_test, y_test = make_digits(120, noise=0.1, max_shift=2, seed=1)
+        model = build_lenet5(conv_p=2, fc_p=4, widths=(4, 8, 32, 16), rng=0)
+        trainer = Trainer(
+            model, Adam(model.parameters(), lr=0.01), CrossEntropyLoss(),
+            batch_size=32, rng=0,
+        )
+        history = trainer.fit(x, y, x_test, y_test, epochs=6)
+        assert history.final_test_accuracy > 0.5  # far above 10% chance
+
+
+class TestResNet:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            build_resnet(depth=21)
+
+    def test_resnet20_block_count(self):
+        model = build_resnet(depth=20, base_width=4, rng=0)
+        from repro.models.resnet import BasicBlock
+
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert len(blocks) == 9  # 3 stages x 3 blocks
+
+    def test_forward_backward_shapes(self):
+        model = build_resnet(depth=8, base_width=8, rng=0)
+        x, _ = make_cifar_like(2, seed=0)
+        out = model.forward(x)
+        assert out.shape == (2, 10)
+        dx = model.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+
+    def test_policy_applies_p2_to_3x3_only(self):
+        from repro.nn import PermDiagConv2D
+
+        model = build_resnet(depth=8, policy=RESNET20_POLICY, base_width=8, rng=0)
+        pd_convs = [m for m in model.modules() if isinstance(m, PermDiagConv2D)]
+        assert pd_convs, "expected PD convs under the ResNet-20 policy"
+        assert all(conv.p == 2 for conv in pd_convs)
+        assert all(conv.kernel_size == (3, 3) for conv in pd_convs)
+
+    def test_wrn_policy_uses_p4(self):
+        from repro.nn import PermDiagConv2D
+
+        model = build_resnet(
+            depth=8, policy=WRN48_POLICY, base_width=8, widen_factor=2, rng=0
+        )
+        pd_convs = [m for m in model.modules() if isinstance(m, PermDiagConv2D)]
+        assert all(conv.p == 4 for conv in pd_convs)
+
+    def test_compression_ratio_between_1_and_p(self):
+        """Whole-model ratio is < p because 1x1/stem/classifier stay dense
+        (matches the paper: ResNet-20 compresses 1.55x overall with p=2)."""
+        model = build_resnet(depth=14, policy=RESNET20_POLICY, base_width=8, rng=0)
+        report = model_storage_report(model)
+        assert 1.2 < report.compression_ratio < 2.0
+
+
+class TestSeq2SeqNMT:
+    def test_has_4_lstms_and_32_matrices(self):
+        model = Seq2SeqNMT(vocab_size=16, p=4, rng=0)
+        assert len(model.lstms) == 4
+        assert model.num_weight_matrices == 32
+
+    def test_forward_shapes(self):
+        model = Seq2SeqNMT(vocab_size=16, embed_dim=8, hidden=16, p=4, rng=0)
+        src = np.zeros((3, 5), dtype=int)
+        tgt = np.zeros((3, 6), dtype=int)
+        logits = model.forward(src, tgt)
+        assert logits.shape == (3, 6, 16)
+
+    def test_greedy_decode_stops_at_eos(self):
+        model = Seq2SeqNMT(vocab_size=16, embed_dim=8, hidden=16, p=4, rng=0)
+        outputs = model.greedy_decode(
+            np.zeros((2, 4), dtype=int), bos=1, eos=2, max_len=7
+        )
+        assert len(outputs) == 2
+        assert all(len(out) <= 7 for out in outputs)
+        assert all(2 not in out for out in outputs)
+
+    def test_learns_tiny_translation_task(self):
+        corpus = TranslationCorpus(vocab_size=12, min_len=2, max_len=3, seed=0)
+        model = Seq2SeqNMT(
+            vocab_size=12, embed_dim=12, hidden=24, p=2, num_layers=1, rng=0
+        )
+        opt = Adam(model.parameters(), lr=0.01)
+        loss_fn = CrossEntropyLoss(ignore_index=corpus.vocab.PAD)
+        gen = np.random.default_rng(1)
+        first_loss = last_loss = None
+        for step in range(40):
+            src, ti, to = corpus.to_batch(corpus.sample_pairs(32, gen))
+            last_loss = model.train_batch(src, ti, to, opt, loss_fn)
+            if first_loss is None:
+                first_loss = last_loss
+        assert last_loss < first_loss * 0.8
+
+    def test_pd_structure_preserved_after_training(self):
+        from repro.nn.layers.recurrent import _PDOp
+
+        corpus = TranslationCorpus(vocab_size=12, min_len=2, max_len=3, seed=0)
+        model = Seq2SeqNMT(
+            vocab_size=12, embed_dim=8, hidden=16, p=4, num_layers=1, rng=0
+        )
+        opt = Adam(model.parameters(), lr=0.01)
+        loss_fn = CrossEntropyLoss(ignore_index=corpus.vocab.PAD)
+        src, ti, to = corpus.to_batch(corpus.sample_pairs(16, np.random.default_rng(0)))
+        for _ in range(3):
+            model.train_batch(src, ti, to, opt, loss_fn)
+        for lstm in model.lstms:
+            for op in lstm.cell.weight_matrices:
+                assert isinstance(op, _PDOp)
+                dense = op.matrix.to_dense()
+                assert np.all(dense[~op.matrix.dense_mask()] == 0)
+
+    def test_dense_variant_has_no_compression(self):
+        model = Seq2SeqNMT(vocab_size=16, embed_dim=8, hidden=16, p=None, rng=0)
+        report = model_storage_report(model)
+        assert report.compression_ratio == pytest.approx(1.0)

@@ -1,0 +1,187 @@
+"""Tests for activations, pooling, batch norm, dropout, flatten, embedding."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.gradcheck import check_input_gradient
+
+rng = np.random.default_rng(99)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        relu = ReLU()
+        np.testing.assert_array_equal(
+            relu.forward(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_relu_produces_activation_sparsity(self):
+        """ReLU output sparsity is the dynamic sparsity PermDNN exploits."""
+        relu = ReLU()
+        out = relu.forward(rng.normal(size=10000))
+        sparsity = (out == 0).mean()
+        assert 0.4 < sparsity < 0.6  # ~50% for zero-mean input
+
+    @pytest.mark.parametrize(
+        "layer", [ReLU(), LeakyReLU(0.1), Tanh(), Sigmoid()]
+    )
+    def test_gradcheck(self, layer):
+        x = rng.normal(size=(4, 6)) + 0.1  # avoid the ReLU kink at 0
+        assert check_input_gradient(layer, x) < 1e-5
+
+    def test_tanh_range(self):
+        out = Tanh().forward(rng.normal(size=100) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_extremes_do_not_overflow(self):
+        out = Sigmoid().forward(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(out))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros(3))
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool = MaxPool2D(2)
+        pool.forward(x)
+        dx = pool.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_array_equal(dx[0, 0], expected)
+
+    def test_maxpool_gradcheck(self):
+        x = rng.normal(size=(2, 3, 6, 6))
+        assert check_input_gradient(MaxPool2D(2), x) < 1e-5
+
+    def test_avgpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_gradcheck(self):
+        x = rng.normal(size=(2, 3, 6, 6))
+        assert check_input_gradient(AvgPool2D(2), x) < 1e-5
+
+    def test_global_avgpool(self):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = GlobalAvgPool2D().forward(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)))
+
+    def test_global_avgpool_gradcheck(self):
+        x = rng.normal(size=(2, 3, 4, 4))
+        assert check_input_gradient(GlobalAvgPool2D(), x) < 1e-5
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self):
+        bn = BatchNorm1D(8)
+        x = rng.normal(3.0, 2.0, size=(64, 8))
+        out = bn.forward(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_2d_per_channel_stats(self):
+        bn = BatchNorm2D(3)
+        x = rng.normal(1.0, 2.0, size=(8, 3, 5, 5))
+        out = bn.forward(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1D(4, momentum=0.0)  # running stats = last batch
+        x = rng.normal(5.0, 3.0, size=(128, 4))
+        bn.forward(x)
+        bn.eval()
+        out = bn.forward(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_gradcheck_training_mode(self):
+        bn = BatchNorm1D(5)
+        x = rng.normal(size=(8, 5))
+        assert check_input_gradient(bn, x) < 1e-4
+
+    def test_gradcheck_2d(self):
+        bn = BatchNorm2D(3)
+        x = rng.normal(size=(4, 3, 4, 4))
+        assert check_input_gradient(bn, x) < 1e-4
+
+    def test_feature_count_check(self):
+        with pytest.raises(ValueError):
+            BatchNorm1D(4).forward(np.zeros((2, 5)))
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.5, rng=0)
+        drop.eval()
+        x = rng.normal(size=(4, 8))
+        np.testing.assert_array_equal(drop.forward(x), x)
+
+    def test_training_drops_and_rescales(self):
+        drop = Dropout(0.5, rng=0)
+        x = np.ones((100, 100))
+        out = drop.forward(x)
+        dropped = (out == 0).mean()
+        assert 0.45 < dropped < 0.55
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted scaling
+
+    def test_backward_uses_same_mask(self):
+        drop = Dropout(0.5, rng=1)
+        x = np.ones((10, 10))
+        out = drop.forward(x)
+        dx = drop.backward(np.ones_like(x))
+        np.testing.assert_array_equal(dx == 0, out == 0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestShapeAndEmbedding:
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        x = rng.normal(size=(3, 4, 5))
+        y = flat.forward(x)
+        assert y.shape == (3, 20)
+        np.testing.assert_array_equal(flat.backward(y), x)
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, rng=0)
+        tokens = np.array([[1, 2], [3, 1]])
+        out = emb.forward(tokens)
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out[0, 0], emb.weight.value[1])
+
+    def test_embedding_grad_accumulates_shared_tokens(self):
+        emb = Embedding(10, 4, rng=1)
+        tokens = np.array([1, 1, 1])
+        emb.forward(tokens)
+        emb.zero_grad()
+        emb.backward(np.ones((3, 4)))
+        np.testing.assert_allclose(emb.weight.grad[1], 3.0)
+
+    def test_embedding_range_check(self):
+        with pytest.raises(ValueError):
+            Embedding(10, 4).forward(np.array([10]))

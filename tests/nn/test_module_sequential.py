@@ -1,0 +1,114 @@
+"""Tests for the Module base class and Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1D,
+    Dropout,
+    Linear,
+    PermDiagLinear,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class TestParameterDiscovery:
+    def test_direct_parameters(self):
+        layer = Linear(4, 3)
+        names = {p.name for p in layer.parameters()}
+        assert names == {"weight", "bias"}
+
+    def test_nested_modules(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        assert len(model.parameters()) == 4
+
+    def test_parameters_in_dicts_and_lists(self):
+        class Weird(Module):
+            def __init__(self):
+                super().__init__()
+                self.stuff = {"a": Parameter(np.zeros(2))}
+                self.more = [Parameter(np.zeros(3)), Linear(2, 2)]
+
+        assert len(Weird().parameters()) == 4
+
+    def test_shared_parameter_counted_once(self):
+        shared = Parameter(np.zeros(4))
+
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+                self.b = shared
+
+        assert len(Shared().parameters()) == 1
+
+    def test_zero_grad_clears_all(self):
+        model = Sequential(Linear(4, 4), ReLU(), Linear(4, 2))
+        for param in model.parameters():
+            param.grad += 1.0
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+    def test_num_parameters_counts_stored_only(self):
+        dense = Linear(16, 16, bias=False)
+        compressed = PermDiagLinear(16, 16, p=4, bias=False)
+        assert dense.num_parameters() == 256
+        assert compressed.num_parameters() == 64
+
+
+class TestTrainEvalMode:
+    def test_propagates_to_children(self):
+        model = Sequential(Linear(4, 4), Dropout(0.5), BatchNorm1D(4))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_eval_changes_dropout_behaviour(self):
+        model = Sequential(Dropout(0.9, rng=0))
+        x = np.ones((4, 10))
+        model.eval()
+        np.testing.assert_array_equal(model.forward(x), x)
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        model = Sequential(Linear(4, 4, rng=0), ReLU())
+        x = np.random.default_rng(1).normal(size=(2, 4))
+        out = model.forward(x)
+        assert np.all(out >= 0)
+
+    def test_backward_reverses(self):
+        model = Sequential(Linear(4, 6, rng=2), ReLU(), Linear(6, 3, rng=3))
+        x = np.random.default_rng(4).normal(size=(2, 4))
+        y = model.forward(x)
+        dx = model.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_append_and_len(self):
+        model = Sequential()
+        model.append(Linear(2, 2)).append(ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_state_dict_round_trip(self):
+        model = Sequential(Linear(4, 4, rng=5), ReLU(), Linear(4, 2, rng=6))
+        state = model.state_dict()
+        clone = Sequential(Linear(4, 4, rng=7), ReLU(), Linear(4, 2, rng=8))
+        clone.load_state_dict(state)
+        x = np.random.default_rng(9).normal(size=(3, 4))
+        np.testing.assert_allclose(model.forward(x), clone.forward(x))
+
+    def test_load_state_dict_shape_check(self):
+        model = Sequential(Linear(4, 4))
+        other = Sequential(Linear(4, 5))
+        with pytest.raises(ValueError):
+            other.load_state_dict(model.state_dict())
+
+    def test_load_state_dict_count_check(self):
+        model = Sequential(Linear(4, 4))
+        with pytest.raises(ValueError):
+            model.load_state_dict({})

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workload == "Alex-FC6"
+        assert args.pes == 32
+
+    def test_storage_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["storage", "--model", "vgg"])
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate", "--workload", "NMT-1"]) == 0
+        out = capsys.readouterr().out
+        assert "NMT-1" in out and "cycles" in out
+
+    def test_simulate_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "bogus"])
+
+    def test_compare_runs(self, capsys):
+        assert main(["compare", "--workload", "Alex-FC8"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_storage_alexnet(self, capsys):
+        assert main(["storage", "--model", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "compression" in out and "9." in out
+
+    def test_scale_runs(self, capsys):
+        assert main(["scale", "--workload", "NMT-1"]) == 0
+        out = capsys.readouterr().out
+        assert "64 PEs" in out
+
+    def test_memory_runs(self, capsys):
+        assert main(["memory", "--sram-mb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "uJ/inference" in out
