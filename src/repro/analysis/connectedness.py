@@ -13,7 +13,6 @@ neuron reaches every output neuron.
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from repro.core import BlockPermutedDiagonalMatrix
 
@@ -44,8 +43,9 @@ def layer_connectivity_graph(
                 f"layer {depth} expects {matrix.shape[1]} inputs but layer "
                 f"{depth - 1} emits {layers[depth - 1].shape[0]}"
             )
-        mask = matrix.dense_mask()
-        rows, cols = np.nonzero(mask)
+        # Support slots straight from the cached index plan -- no dense
+        # (m, n) mask materialization per layer.
+        rows, cols = matrix.support_coordinates()
         for r, c in zip(rows.tolist(), cols.tolist()):
             graph.add_edge((depth, c), (depth + 1, r))
     return graph

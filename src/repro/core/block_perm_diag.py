@@ -9,19 +9,178 @@ exploits to eliminate index storage.
 When ``m`` or ``n`` is not a multiple of ``p`` the matrix is zero-padded
 (footnote 3 of the paper); padded positions are forced to zero and excluded
 from storage accounting.
+
+Index-plan cache
+----------------
+Because non-zero positions are arithmetically derivable, every index
+artifact -- the global row/column of each stored slot, the support mask,
+the forward gather columns, the transposed gather pair, and the CSR
+skeletons used by the sparse products -- is a pure function of the
+*structure* ``(ks, shape, p)`` and never of the values.  All of it is
+computed once, lazily, in an :class:`_IndexPlan` cached on the matrix;
+every product (:meth:`~BlockPermutedDiagonalMatrix.matmat`,
+:meth:`~BlockPermutedDiagonalMatrix.rmatmat`,
+:meth:`~BlockPermutedDiagonalMatrix.grad_data`, ...) reads the plan instead
+of rebuilding indices, and the backward path is transpose-free: no
+intermediate :meth:`~BlockPermutedDiagonalMatrix.transpose` object is
+materialized per call.
+
+Structure is immutable through attribute access (``ks`` is exposed
+read-only and ``shape`` is a plain property).  The sanctioned mutation API
+is :meth:`~BlockPermutedDiagonalMatrix.set_structure`, which re-validates,
+re-masks the stored values, and invalidates the cached plan.  Matrices
+sharing one structure (e.g. the per-offset channel matrices of a lowered
+convolution) can share a single plan via
+:meth:`~BlockPermutedDiagonalMatrix.like`.
+
+Aliasing contract
+-----------------
+Assigning ``data`` (including at construction) **aliases** the supplied
+float64 array -- no copy -- whenever its padding region is already zero,
+which is always true for shapes divisible by ``p``.  A masked copy is made
+only when padding actually zeroes something.  Consumers rely on the alias:
+:class:`~repro.nn.layers.perm_diag_linear.PermDiagLinear` points its
+trainable parameter at the same buffer, so in-place optimizer updates are
+visible to the matrix with zero copies.  In-place writes to ``data`` are
+fine for *values*; writing non-zeros into the padding region of an aliased
+buffer is unsupported (products ignore those slots, but storage accounting
+and ``to_q`` round-trips assume they stay zero).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+try:  # scipy is an install requirement but stay importable without it
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _scipy_sparse = None
+
 from repro.core.permutation import PermutationSpec
 
 __all__ = ["BlockPermutedDiagonalMatrix"]
 
-# Below this many gathered elements, matmat uses a single fancy-indexing
-# gather; above it, it falls back to a block-row loop to bound memory.
+# Below this many gathered elements, the (scipy-free) fallback products use
+# a single fancy-indexing gather; above it, they fall back to a block-row
+# loop to bound memory.
 _GATHER_ELEMENT_LIMIT = 50_000_000
+
+
+class _IndexPlan:
+    """Cached index arithmetic for one ``(ks, shape, p)`` structure.
+
+    Built lazily, once, and shared by every matrix that uses the structure
+    (see :meth:`BlockPermutedDiagonalMatrix.like`).  The eager members are
+    the forward-path arrays; the transpose pair, support coordinates and
+    CSR skeletons are themselves built lazily on first use so forward-only
+    consumers never pay for them.  All exposed arrays are read-only.
+
+    Attributes:
+        rows / cols: global ``(row, col)`` of every stored slot, ``(mb, nb, p)``.
+        support: boolean ``(mb, nb, p)`` mask of slots inside the logical shape.
+        flat_cols: ``cols`` flattened for one-shot gathers.
+        nnz: number of in-bounds stored slots.
+        aligned_m / aligned_n / full_support: padding-free flags per axis.
+    """
+
+    def __init__(self, ks: np.ndarray, shape: tuple[int, int], p: int) -> None:
+        mb, nb = ks.shape
+        m, n = shape
+        self.p = p
+        self.mb = mb
+        self.nb = nb
+        self.shape = shape
+        self.ks = ks
+        self.aligned_m = m == mb * p
+        self.aligned_n = n == nb * p
+        self.full_support = self.aligned_m and self.aligned_n
+        c = np.arange(p, dtype=np.int64)
+        rows = np.ascontiguousarray(
+            np.broadcast_to(
+                np.arange(mb, dtype=np.int64)[:, None, None] * p + c, (mb, nb, p)
+            )
+        )
+        cols = (
+            np.arange(nb, dtype=np.int64)[None, :, None] * p
+            + (c[None, None, :] + ks[:, :, None]) % p
+        )
+        if self.full_support:
+            support = np.ones((mb, nb, p), dtype=bool)
+        else:
+            support = (rows < m) & (cols < n)
+        self.nnz = int(support.sum())
+        for arr in (rows, cols, support):
+            arr.setflags(write=False)
+        self.rows, self.cols, self.support = rows, cols, support
+        self.flat_cols = cols.reshape(-1)  # after the freeze: read-only view
+        self._t_arrays: tuple[np.ndarray, np.ndarray] | None = None
+        self._support_coords: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._csr_structs: dict[bool, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def support_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(flat, rows, cols)`` of every in-bounds slot, each 1-D.
+
+        ``flat`` indexes ``data.ravel()``; ``rows``/``cols`` are the global
+        dense coordinates (always inside the logical shape).
+        """
+        if self._support_coords is None:
+            if self.full_support:
+                flat = np.arange(self.rows.size, dtype=np.int64)
+                rows, cols = self.rows.reshape(-1), self.flat_cols
+            else:
+                flat = np.flatnonzero(self.support)
+                rows = self.rows.reshape(-1)[flat]
+                cols = self.flat_cols[flat]
+            for arr in (flat, rows, cols):
+                arr.setflags(write=False)
+            self._support_coords = (flat, rows, cols)
+        return self._support_coords
+
+    def transpose_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(t_src, t_cols)``, each ``(nb, mb, p)``, for the transposed view.
+
+        For transposed slot ``(bj, bi, d)`` -- row ``bj*p + d`` of ``W.T`` --
+        ``t_src`` is the flat index into ``data`` of the value it carries and
+        ``t_cols`` the original global row (= the ``W.T`` input column)
+        feeding it.  This is what lets ``rmatmat`` run without materializing
+        a transposed matrix object.
+        """
+        if self._t_arrays is None:
+            p, mb, nb = self.p, self.mb, self.nb
+            d = np.arange(p, dtype=np.int64)
+            # Transposed row d of block (bi, bj) carries the original entry
+            # whose column offset was d, i.e. original row (d - k) mod p.
+            src_c = (d[None, None, :] - self.ks[:, :, None]) % p  # (mb, nb, p)
+            bi = np.arange(mb, dtype=np.int64)[:, None, None]
+            bj = np.arange(nb, dtype=np.int64)[None, :, None]
+            t_src = np.ascontiguousarray(((bi * nb + bj) * p + src_c).transpose(1, 0, 2))
+            t_cols = np.ascontiguousarray((bi * p + src_c).transpose(1, 0, 2))
+            t_src.setflags(write=False)
+            t_cols.setflags(write=False)
+            self._t_arrays = (t_src, t_cols)
+        return self._t_arrays
+
+    def csr_struct(
+        self, transposed: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR skeleton ``(indptr, indices, perm)`` of ``W`` (or ``W.T``).
+
+        ``perm`` gathers ``data.ravel()`` into CSR order, so refreshing a
+        cached sparse matrix after an in-place weight update is a single
+        ``nnz``-sized gather.
+        """
+        key = bool(transposed)
+        if key not in self._csr_structs:
+            flat, r, c = self.support_coords()
+            if transposed:
+                rows, cols, height = c, r, self.shape[1]
+            else:
+                rows, cols, height = r, c, self.shape[0]
+            order = np.lexsort((cols, rows))
+            indptr = np.zeros(height + 1, dtype=np.int64)
+            np.cumsum(np.bincount(rows, minlength=height), out=indptr[1:])
+            self._csr_structs[key] = (indptr, cols[order], flat[order])
+        return self._csr_structs[key]
 
 
 class BlockPermutedDiagonalMatrix:
@@ -31,8 +190,16 @@ class BlockPermutedDiagonalMatrix:
     ``(bi, bj)`` in its row ``c``, located at global position
     ``(bi*p + c, bj*p + (c + ks[bi, bj]) % p)``.
 
+    The structure ``(ks, shape, p)`` is fixed at construction -- ``ks`` is
+    exposed read-only and ``shape`` is a property -- and all index
+    arithmetic derived from it is cached (see the module docstring).  Use
+    :meth:`set_structure` to mutate it and :meth:`like` to create siblings
+    that share the cached plan.
+
     Args:
         data: array of shape ``(mb, nb, p)`` with the non-zero values.
+            Aliased, not copied, when already float64 with a zeroed padding
+            region (the aliasing contract -- see the module docstring).
         ks: integer array of shape ``(mb, nb)`` with per-block permutation
             parameters (reduced modulo ``p``).
         shape: logical ``(m, n)``; defaults to the padded ``(mb*p, nb*p)``.
@@ -56,7 +223,9 @@ class BlockPermutedDiagonalMatrix:
         if p <= 0:
             raise ValueError("block size p must be positive")
         self.p = p
-        self.ks = ks % p
+        ks = ks % p
+        ks.setflags(write=False)
+        self._ks = ks
         if shape is None:
             shape = (mb * p, nb * p)
         m, n = shape
@@ -64,9 +233,118 @@ class BlockPermutedDiagonalMatrix:
             raise ValueError(
                 f"logical shape {shape} inconsistent with {mb}x{nb} blocks of p={p}"
             )
-        self.shape = (int(m), int(n))
-        self.data = data
-        self.data = data * self.support_mask()  # force padding region to zero
+        self._shape = (int(m), int(n))
+        self._plan: _IndexPlan | None = None
+        self._csr_cache: dict[bool, tuple] = {}
+        self.data = data  # through the property: masks padding only if needed
+
+    # ------------------------------------------------------------------
+    # Structure access and the sanctioned mutation API
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(m, n)``.  Mutate via :meth:`set_structure` only."""
+        return self._shape
+
+    @property
+    def ks(self) -> np.ndarray:
+        """Per-block permutation parameters (read-only array)."""
+        return self._ks
+
+    @property
+    def data(self) -> np.ndarray:
+        """Stored values, shape ``(mb, nb, p)``.
+
+        Assignment validates the shape and enforces the padding rule under
+        the aliasing contract: the array is aliased when its padding region
+        is already zero, and replaced by a masked copy only otherwise.
+        """
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=np.float64)
+        mb, nb = self._ks.shape
+        if value.shape != (mb, nb, self.p):
+            raise ValueError(
+                f"data must have shape ({mb}, {nb}, {self.p}), got {value.shape}"
+            )
+        if self._shape != (mb * self.p, nb * self.p):
+            support = self._get_plan().support
+            if np.any(value[~support]):
+                value = value * support  # force padding region to zero
+        self._data = value
+
+    def set_structure(
+        self,
+        ks: np.ndarray | None = None,
+        shape: tuple[int, int] | None = None,
+    ) -> "BlockPermutedDiagonalMatrix":
+        """Sanctioned structure mutation: swap ``ks`` and/or the logical shape.
+
+        Validates exactly like ``__init__``, re-applies the padding mask to
+        the stored values under the new structure, and invalidates the
+        cached index plan (plus any CSR skeletons derived from it).  The
+        re-mask happens **in place** whenever the buffer is writable, so
+        the data-aliasing contract (e.g. a ``Parameter`` sharing storage)
+        survives the mutation.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        mb, nb, p = self._data.shape
+        if ks is not None:
+            ks = np.asarray(ks, dtype=np.int64)
+            if ks.shape != (mb, nb):
+                raise ValueError(
+                    f"ks shape {ks.shape} does not match data blocks ({mb}, {nb})"
+                )
+            ks = ks % p
+            ks.setflags(write=False)
+            self._ks = ks
+        if shape is not None:
+            m, n = shape
+            if not (mb * p - p < m <= mb * p and nb * p - p < n <= nb * p):
+                raise ValueError(
+                    f"logical shape {shape} inconsistent with {mb}x{nb} blocks of p={p}"
+                )
+            self._shape = (int(m), int(n))
+        self._plan = None
+        self._csr_cache = {}
+        # Re-mask under the new structure, in place when possible so any
+        # consumer aliasing the buffer keeps seeing this matrix's values.
+        if self._shape != (mb * p, nb * p):
+            support = self._get_plan().support
+            if np.any(self._data[~support]):
+                if self._data.flags.writeable:
+                    self._data[~support] = 0.0
+                else:
+                    self._data = self._data * support
+        return self
+
+    def like(self, data: np.ndarray) -> "BlockPermutedDiagonalMatrix":
+        """New matrix with this structure, **sharing** the cached index plan.
+
+        Use when many value sets ride one structure (per-offset channel
+        matrices of a lowered convolution, weight-shared codebook copies):
+        the index arithmetic is computed once for the whole family.
+        ``data`` follows the aliasing contract.
+        """
+        out = self.__class__.__new__(self.__class__)
+        out.p = self.p
+        out._ks = self._ks
+        out._shape = self._shape
+        out._plan = self._get_plan()
+        out._csr_cache = {}
+        out.data = data
+        return out
+
+    def _get_plan(self) -> _IndexPlan:
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = _IndexPlan(self._ks, self._shape, self.p)
+        return plan
 
     # ------------------------------------------------------------------
     # Constructors
@@ -108,7 +386,7 @@ class BlockPermutedDiagonalMatrix:
             rng = np.random.default_rng(rng)
         if scale is None:
             scale = float(np.sqrt(p / max(shape[1], 1)))
-        out.data = rng.normal(0.0, scale, size=out.data.shape) * out.support_mask()
+        out.data = rng.normal(0.0, scale, size=out.data.shape)
         return out
 
     @classmethod
@@ -129,11 +407,10 @@ class BlockPermutedDiagonalMatrix:
         if dense.ndim != 2:
             raise ValueError(f"expected 2-D matrix, got shape {dense.shape}")
         out = cls.zeros(dense.shape, p, spec=spec, ks=ks)
-        m, n = dense.shape
-        padded = np.zeros((out.mb * p, out.nb * p))
-        padded[:m, :n] = dense
-        rows, cols = out._global_indices()
-        out.data = padded[rows, cols] * out.support_mask()
+        flat, rows, cols = out._get_plan().support_coords()
+        data = np.zeros(out.data.shape)
+        data.reshape(-1)[flat] = dense[rows, cols]
+        out.data = data
         return out
 
     # ------------------------------------------------------------------
@@ -143,12 +420,12 @@ class BlockPermutedDiagonalMatrix:
     @property
     def mb(self) -> int:
         """Number of block rows."""
-        return self.data.shape[0]
+        return self._data.shape[0]
 
     @property
     def nb(self) -> int:
         """Number of block columns."""
-        return self.data.shape[1]
+        return self._data.shape[1]
 
     @property
     def num_blocks(self) -> int:
@@ -157,7 +434,7 @@ class BlockPermutedDiagonalMatrix:
     @property
     def nnz(self) -> int:
         """Number of stored (non-padding) entries: ``~ m*n/p``."""
-        return int(self.support_mask().sum())
+        return self._get_plan().nnz
 
     @property
     def compression_ratio(self) -> float:
@@ -165,37 +442,42 @@ class BlockPermutedDiagonalMatrix:
         return self.shape[0] * self.shape[1] / self.nnz
 
     def support_mask(self) -> np.ndarray:
-        """Boolean ``(mb, nb, p)`` mask of entries inside the logical shape."""
-        m, n = self.shape
-        rows, cols = self._global_indices()
-        return (rows < m) & (cols < n)
+        """Boolean ``(mb, nb, p)`` mask of entries inside the logical shape.
+
+        Read-only view of the cached index plan; copy before mutating.
+        """
+        return self._get_plan().support
 
     def _global_indices(self) -> tuple[np.ndarray, np.ndarray]:
-        """Global ``(row, col)`` of every stored slot, each ``(mb, nb, p)``."""
-        c = np.arange(self.p)
-        bi = np.arange(self.mb)
-        bj = np.arange(self.nb)
-        rows = (bi[:, None, None] * self.p + c[None, None, :]) * np.ones(
-            (1, self.nb, 1), dtype=np.int64
-        )
-        cols = bj[None, :, None] * self.p + (c[None, None, :] + self.ks[:, :, None]) % self.p
-        return rows.astype(np.int64), cols.astype(np.int64)
+        """Global ``(row, col)`` of every stored slot, each ``(mb, nb, p)``.
+
+        Read-only views of the cached index plan.
+        """
+        plan = self._get_plan()
+        return plan.rows, plan.cols
+
+    def support_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(rows, cols)`` 1-D global coordinates of every in-bounds slot.
+
+        The cheap way to enumerate the support (e.g. for connectivity
+        analysis) without materializing ``dense_mask``.
+        """
+        _, rows, cols = self._get_plan().support_coords()
+        return rows, cols
 
     def dense_mask(self) -> np.ndarray:
         """Boolean ``(m, n)`` mask of the PD support in dense coordinates."""
-        m, n = self.shape
-        mask = np.zeros((self.mb * self.p, self.nb * self.p), dtype=bool)
-        rows, cols = self._global_indices()
-        mask[rows.ravel(), cols.ravel()] = True
-        return mask[:m, :n]
+        mask = np.zeros(self.shape, dtype=bool)
+        _, rows, cols = self._get_plan().support_coords()
+        mask[rows, cols] = True
+        return mask
 
     def to_dense(self) -> np.ndarray:
         """Materialize the full ``m x n`` dense array."""
-        m, n = self.shape
-        dense = np.zeros((self.mb * self.p, self.nb * self.p))
-        rows, cols = self._global_indices()
-        dense[rows.ravel(), cols.ravel()] = self.data.ravel()
-        return dense[:m, :n]
+        dense = np.zeros(self.shape)
+        flat, rows, cols = self._get_plan().support_coords()
+        dense[rows, cols] = self._data.reshape(-1)[flat]
+        return dense
 
     def to_q(self) -> np.ndarray:
         """Packed non-zero vector ``q`` (block-major, length ``mb*nb*p``).
@@ -203,7 +485,7 @@ class BlockPermutedDiagonalMatrix:
         ``q[l*p + c]`` is the row-``c`` non-zero of block ``l = bi*nb + bj``,
         matching the paper's storage of "only the mn/p-length vector q".
         """
-        return self.data.reshape(-1).copy()
+        return self._data.reshape(-1).copy()
 
     @classmethod
     def from_q(
@@ -227,14 +509,13 @@ class BlockPermutedDiagonalMatrix:
     def transpose(self) -> "BlockPermutedDiagonalMatrix":
         """Transpose; also block-PD, with ``k_t = (p - k) mod p`` per block.
 
-        Used by backpropagation: ``dx = W.T @ dy`` (Eqn. (3)).
+        The backward pass no longer calls this -- :meth:`rmatmat` and
+        :meth:`rmatvec` run transpose-free off the cached plan -- but the
+        structured transpose remains part of the public API.
         """
-        ks_t = (-self.ks.T) % self.p
-        # Row d of the transposed block holds the original entry whose
-        # column was d, i.e. original row (d - k) mod p.
-        d = np.arange(self.p)
-        src = (d[None, None, :] - self.ks[:, :, None]) % self.p
-        data_t = np.take_along_axis(self.data, src, axis=2).transpose(1, 0, 2)
+        t_src, _ = self._get_plan().transpose_arrays()
+        data_t = self._data.ravel()[t_src]
+        ks_t = (-self._ks.T) % self.p
         return BlockPermutedDiagonalMatrix(
             data_t, ks_t, shape=(self.shape[1], self.shape[0])
         )
@@ -245,59 +526,128 @@ class BlockPermutedDiagonalMatrix:
 
     def _gather_columns(self) -> np.ndarray:
         """Global input column index feeding each stored slot, ``(mb, nb, p)``."""
-        __, cols = self._global_indices()
-        return cols
+        return self._get_plan().cols
+
+    def _csr(self, transposed: bool):
+        """Cached ``scipy.sparse.csr_matrix`` view of ``W`` (or ``W.T``).
+
+        The skeleton comes from the index plan; only ``nnz`` values are
+        re-gathered per call, so in-place weight updates are always
+        reflected.
+        """
+        key = bool(transposed)
+        plan = self._get_plan()
+        entry = self._csr_cache.get(key)
+        if entry is None or entry[0] is not plan:
+            indptr, indices, perm = plan.csr_struct(key)
+            shape = (self.shape[1], self.shape[0]) if transposed else self.shape
+            mat = _scipy_sparse.csr_matrix(
+                (self._data.ravel()[perm], indices, indptr), shape=shape
+            )
+            self._csr_cache[key] = (plan, mat, perm)
+        else:
+            _, mat, perm = entry
+            mat.data[:] = self._data.ravel()[perm]
+        return self._csr_cache[key][1]
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """``y = W @ x`` touching only the ``m*n/p`` stored weights."""
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.shape[1],):
             raise ValueError(f"expected x of shape ({self.shape[1]},), got {x.shape}")
-        return self.matmat(x[None, :])[0]
+        if _scipy_sparse is not None:
+            return self._csr(False) @ x
+        return self._matmat_gather(x[None, :])[0]
 
     def matmat(self, x: np.ndarray) -> np.ndarray:
-        """Batched product ``Y = X @ W.T`` for ``X`` of shape ``(B, n)``.
+        """Batched forward product ``Y[b] = W @ X[b]`` for ``X`` of shape ``(B, n)``.
 
-        Returns ``(B, m)``.  This is the forward pass of an FC layer
-        (``a = W x`` per sample, Sec. III-B) vectorized over the batch.
+        In dense terms ``Y = X @ W.T`` (row-major batch against the logical
+        ``(m, n)`` weight): the forward pass of an FC layer (``a = W x`` per
+        sample, Sec. III-B) vectorized over the batch.  Returns ``(B, m)``.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.shape[1]:
             raise ValueError(
                 f"expected X of shape (B, {self.shape[1]}), got {x.shape}"
             )
+        if _scipy_sparse is not None:
+            return np.ascontiguousarray(self._csr(False).dot(x.T).T)
+        return self._matmat_gather(x)
+
+    def _matmat_gather(self, x: np.ndarray) -> np.ndarray:
+        """Gather/einsum fallback forward product (no scipy)."""
+        plan = self._get_plan()
         batch = x.shape[0]
-        n_pad = self.nb * self.p
-        if n_pad != x.shape[1]:
-            x_pad = np.zeros((batch, n_pad))
-            x_pad[:, : x.shape[1]] = x
+        if plan.aligned_n:
+            x_pad = x  # aligned fast path: no zero-padded copy
         else:
-            x_pad = x
-        cols = self._gather_columns()
-        y_blocks = np.empty((batch, self.mb, self.p))
-        if batch * cols.size <= _GATHER_ELEMENT_LIMIT:
-            gathered = x_pad[:, cols.reshape(-1)].reshape(
+            x_pad = np.zeros((batch, self.nb * self.p))
+            x_pad[:, : x.shape[1]] = x
+        if batch * plan.cols.size <= _GATHER_ELEMENT_LIMIT:
+            gathered = x_pad[:, plan.flat_cols].reshape(
                 batch, self.mb, self.nb, self.p
             )
-            y_blocks = np.einsum("ijc,bijc->bic", self.data, gathered)
+            y_blocks = np.einsum("ijc,bijc->bic", self._data, gathered)
         else:
+            y_blocks = np.empty((batch, self.mb, self.p))
             for bi in range(self.mb):
-                gathered = x_pad[:, cols[bi].reshape(-1)].reshape(
+                gathered = x_pad[:, plan.cols[bi].reshape(-1)].reshape(
                     batch, self.nb, self.p
                 )
-                y_blocks[:, bi] = np.einsum("jc,bjc->bc", self.data[bi], gathered)
+                y_blocks[:, bi] = np.einsum("jc,bjc->bc", self._data[bi], gathered)
         return y_blocks.reshape(batch, self.mb * self.p)[:, : self.shape[0]]
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
-        """``W.T @ y`` (gradient propagation, Eqn. (3))."""
+        """``W.T @ y`` (gradient propagation, Eqn. (3)), transpose-free."""
         y = np.asarray(y, dtype=np.float64)
         if y.shape != (self.shape[0],):
             raise ValueError(f"expected y of shape ({self.shape[0]},), got {y.shape}")
-        return self.transpose().matvec(y)
+        if _scipy_sparse is not None:
+            return self._csr(True) @ y
+        return self._rmatmat_gather(y[None, :])[0]
 
     def rmatmat(self, y: np.ndarray) -> np.ndarray:
-        """Batched ``W.T`` product for ``Y`` of shape ``(B, m)`` -> ``(B, n)``."""
-        return self.transpose().matmat(y)
+        """Batched ``W.T`` product for ``Y`` of shape ``(B, m)`` -> ``(B, n)``.
+
+        The backward input gradient ``dx = W.T @ dy`` (Eqn. (3)).  Runs
+        directly off the cached plan's transposed skeleton -- no
+        ``transpose()`` matrix object is constructed.
+        """
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim != 2 or y.shape[1] != self.shape[0]:
+            raise ValueError(
+                f"expected Y of shape (B, {self.shape[0]}), got {y.shape}"
+            )
+        if _scipy_sparse is not None:
+            return np.ascontiguousarray(self._csr(True).dot(y.T).T)
+        return self._rmatmat_gather(y)
+
+    def _rmatmat_gather(self, y: np.ndarray) -> np.ndarray:
+        """Gather/einsum fallback transpose product (no scipy)."""
+        plan = self._get_plan()
+        batch = y.shape[0]
+        if plan.aligned_m:
+            y_pad = y  # aligned fast path: no zero-padded copy
+        else:
+            y_pad = np.zeros((batch, self.mb * self.p))
+            y_pad[:, : y.shape[1]] = y
+        t_src, t_cols = plan.transpose_arrays()
+        data_flat = self._data.ravel()
+        if batch * t_cols.size <= _GATHER_ELEMENT_LIMIT:
+            data_t = data_flat[t_src]
+            gathered = y_pad[:, t_cols.reshape(-1)].reshape(
+                batch, self.nb, self.mb, self.p
+            )
+            x_blocks = np.einsum("jic,bjic->bjc", data_t, gathered)
+        else:
+            x_blocks = np.empty((batch, self.nb, self.p))
+            for bj in range(self.nb):
+                gathered = y_pad[:, t_cols[bj].reshape(-1)].reshape(
+                    batch, self.mb, self.p
+                )
+                x_blocks[:, bj] = np.einsum("ic,bic->bc", data_flat[t_src[bj]], gathered)
+        return x_blocks.reshape(batch, self.nb * self.p)[:, : self.shape[1]]
 
     def grad_data(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """Gradient of a batch loss w.r.t. :attr:`data` (Eqn. (2)).
@@ -312,31 +662,45 @@ class BlockPermutedDiagonalMatrix:
         """
         x = np.asarray(x, dtype=np.float64)
         dy = np.asarray(dy, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.shape[1]:
+            raise ValueError(
+                f"expected x of shape (B, {self.shape[1]}), got {x.shape}"
+            )
         batch = x.shape[0]
         if dy.shape != (batch, self.shape[0]):
             raise ValueError(
                 f"dy shape {dy.shape} does not match (B={batch}, m={self.shape[0]})"
             )
-        n_pad, m_pad = self.nb * self.p, self.mb * self.p
-        x_pad = np.zeros((batch, n_pad))
-        x_pad[:, : x.shape[1]] = x
-        dy_pad = np.zeros((batch, m_pad))
-        dy_pad[:, : dy.shape[1]] = dy
-        dy_blocks = dy_pad.reshape(batch, self.mb, self.p)
-        cols = self._gather_columns()
-        if batch * cols.size <= _GATHER_ELEMENT_LIMIT:
-            gathered = x_pad[:, cols.reshape(-1)].reshape(
-                batch, self.mb, self.nb, self.p
+        plan = self._get_plan()
+        # Transposed orientation: the gather then reads contiguous
+        # (batch,)-rows of ``x.T`` instead of strided columns of ``x``,
+        # which is markedly more cache friendly for large layers.
+        x_t = np.ascontiguousarray(x.T)  # (n, B)
+        dy_t = np.ascontiguousarray(dy.T)  # (m, B)
+        if not plan.aligned_n:  # aligned fast path: no zero-padded copy
+            x_pad = np.zeros((self.nb * self.p, batch))
+            x_pad[: x_t.shape[0]] = x_t
+            x_t = x_pad
+        if not plan.aligned_m:
+            dy_pad = np.zeros((self.mb * self.p, batch))
+            dy_pad[: dy_t.shape[0]] = dy_t
+            dy_t = dy_pad
+        dy_blocks = dy_t.reshape(self.mb, self.p, batch)
+        if batch * plan.cols.size <= _GATHER_ELEMENT_LIMIT:
+            gathered = x_t[plan.flat_cols].reshape(
+                self.mb, self.nb, self.p, batch
             )
-            grad = np.einsum("bic,bijc->ijc", dy_blocks, gathered)
+            grad = np.einsum("icb,ijcb->ijc", dy_blocks, gathered)
         else:
-            grad = np.empty_like(self.data)
+            grad = np.empty_like(self._data)
             for bi in range(self.mb):
-                gathered = x_pad[:, cols[bi].reshape(-1)].reshape(
-                    batch, self.nb, self.p
+                gathered = x_t[plan.cols[bi].reshape(-1)].reshape(
+                    self.nb, self.p, batch
                 )
-                grad[bi] = np.einsum("bc,bjc->jc", dy_blocks[:, bi], gathered)
-        return grad * self.support_mask()
+                grad[bi] = np.einsum("cb,jcb->jc", dy_blocks[bi], gathered)
+        if plan.full_support:
+            return grad
+        return grad * plan.support
 
     def frobenius_error(self, dense: np.ndarray) -> float:
         """Frobenius-norm distance ``||dense - W||_F`` (approximation error)."""

@@ -51,18 +51,27 @@ class ConvSimulationResult:
 def _offset_matrices(
     tensor: BlockPermDiagTensor4D,
 ) -> list[BlockPermutedDiagonalMatrix]:
-    """One block-PD channel matrix per kernel offset ``(dy, dx)``."""
+    """One block-PD channel matrix per kernel offset ``(dy, dx)``.
+
+    All ``kh*kw`` matrices share one structure ``(ks, channels, p)``, so the
+    index plan is computed once and shared across the whole family via
+    :meth:`BlockPermutedDiagonalMatrix.like`.
+    """
     kh, kw = tensor.kernel_size
+    base: BlockPermutedDiagonalMatrix | None = None
     matrices = []
     for dy in range(kh):
         for dx in range(kw):
-            matrices.append(
-                BlockPermutedDiagonalMatrix(
-                    tensor.kernels[:, :, :, dy, dx],
-                    tensor.ks,
-                    shape=tensor.channels,
+            # Contiguous copy: the strided kernel slice would otherwise be
+            # re-raveled on every mat-vec of the simulation hot loop.
+            data = np.ascontiguousarray(tensor.kernels[:, :, :, dy, dx])
+            if base is None:
+                base = BlockPermutedDiagonalMatrix(
+                    data, tensor.ks, shape=tensor.channels
                 )
-            )
+                matrices.append(base)
+            else:
+                matrices.append(base.like(data))
     return matrices
 
 

@@ -231,9 +231,9 @@ class PermDNNEngine:
         config = self.config
         codebook = WeightSharingCodebook(bits=config.weight_sharing_bits, rng=0)
         codebook.fit(matrix.data)
-        shared = BlockPermutedDiagonalMatrix(
-            codebook.apply(matrix.data), matrix.ks, shape=matrix.shape
-        )
+        # like() shares the caller's cached index plan instead of rebuilding
+        # the structure for the weight-shared copy.
+        shared = matrix.like(codebook.apply(matrix.data))
         act_fmt = FixedPointFormat(config.quant_bits, config.quant_bits - 4)
         x_q = quantize_fixed_point(x, act_fmt)
         y = shared.matvec(x_q)

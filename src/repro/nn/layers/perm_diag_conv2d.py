@@ -60,12 +60,18 @@ class PermDiagConv2D(Conv2D):
         tensor = BlockPermDiagTensor4D.random(
             out_channels, in_channels, self.kernel_size, p, spec=spec, rng=rng
         )
-        self._tensor = tensor
-        self._mask = tensor.dense_mask()
-        # Re-point the weight parameter at the PD-initialized dense tensor.
-        self.weight = Parameter(tensor.to_dense(), "pd_conv_weight")
+        self._adopt_tensor(tensor)
         self._x_shape = None
         self._cols = None
+
+    def _adopt_tensor(self, tensor: BlockPermDiagTensor4D) -> None:
+        """Point the layer at ``tensor``: mask, nnz, and dense weight are
+        derived once here (the tensor's plane caches the index plan)."""
+        self._tensor = tensor
+        self._mask = tensor.dense_mask()
+        self._nnz = int(self._mask.sum())
+        # Re-point the weight parameter at the PD-structured dense tensor.
+        self.weight = Parameter(tensor.to_dense(), "pd_conv_weight")
 
     # ------------------------------------------------------------------
 
@@ -80,7 +86,7 @@ class PermDiagConv2D(Conv2D):
     @property
     def nnz(self) -> int:
         """Stored scalar weights: ``~ c_out*c_in*kh*kw / p``."""
-        return int(self._mask.sum())
+        return self._nnz
 
     @property
     def compression_ratio(self) -> float:
@@ -105,9 +111,7 @@ class PermDiagConv2D(Conv2D):
             padding=padding,
             bias=bias is not None,
         )
-        layer._tensor = tensor
-        layer._mask = tensor.dense_mask()
-        layer.weight.value[...] = tensor.to_dense()
+        layer._adopt_tensor(tensor)
         if bias is not None:
             layer.bias.value[...] = bias
         return layer

@@ -52,8 +52,10 @@ class PermDiagLinear(Module):
             (out_features, in_features), p, spec=spec, rng=rng
         )
         self._matrix = matrix
+        # Aliasing contract: Parameter and matrix share one buffer, so
+        # in-place optimizer updates reach the structured matrix directly.
         self.weight = Parameter(matrix.data, "pd_weight")
-        matrix.data = self.weight.value  # share storage: optimizer updates W
+        matrix.data = self.weight.value
         self.bias = Parameter(np.zeros(out_features), "bias") if bias else None
         self._x: np.ndarray | None = None
 
@@ -78,15 +80,32 @@ class PermDiagLinear(Module):
         matrix: BlockPermutedDiagonalMatrix,
         bias: np.ndarray | None = None,
     ) -> "PermDiagLinear":
-        """Wrap an existing structured matrix (e.g. a PD approximation of a
-        pre-trained dense layer, Sec. III-F)."""
+        """Rebuild a layer around an existing structured matrix (e.g. a PD
+        approximation of a pre-trained dense layer, Sec. III-F).
+
+        The layer adopts ``matrix`` as-is -- its ``ks``, logical shape
+        (including shapes not divisible by ``p``) and cached index plan are
+        taken over directly, and the trainable parameter aliases the
+        matrix's storage.  No structure fields are mutated behind the
+        matrix's validation.
+        """
         m, n = matrix.shape
-        layer = cls(n, m, matrix.p, bias=bias is not None)
-        layer.weight.value[...] = matrix.data
-        layer._matrix.ks[...] = matrix.ks
-        layer._matrix.shape = matrix.shape
+        layer = cls.__new__(cls)
+        Module.__init__(layer)
+        layer.in_features = n
+        layer.out_features = m
+        layer.p = matrix.p
+        layer._matrix = matrix
+        layer.weight = Parameter(matrix.data, "pd_weight")
+        matrix.data = layer.weight.value  # aliasing contract: same buffer
         if bias is not None:
-            layer.bias.value[...] = bias
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (m,):
+                raise ValueError(f"bias must have shape ({m},), got {bias.shape}")
+            layer.bias = Parameter(bias.copy(), "bias")
+        else:
+            layer.bias = None
+        layer._x = None
         return layer
 
     def to_dense_weight(self) -> np.ndarray:

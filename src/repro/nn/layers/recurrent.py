@@ -63,8 +63,10 @@ class _PDOp(Module):
             (out_features, in_features), p, spec=spec, rng=rng
         )
         self.matrix = matrix
+        # Aliasing contract: Parameter and matrix share one buffer, so
+        # in-place optimizer updates reach the structured matrix directly.
         self.weight = Parameter(matrix.data)
-        matrix.data = self.weight.value  # share storage with the optimizer
+        matrix.data = self.weight.value
 
     @property
     def stored_weights(self) -> int:

@@ -242,6 +242,60 @@ class TestTransposeAndGrad:
         assert bpd.frobenius_error(dense) == pytest.approx(np.sqrt(2.0))
 
 
+class TestRoundTripsNonDivisible:
+    """Regression coverage for structure round-trips when ``p`` does not
+    divide the shape and ``ks`` comes from a random PermutationSpec."""
+
+    # Shapes chosen so p=4 never divides either dimension.
+    odd_shapes = st.tuples(
+        st.integers(1, 30).filter(lambda v: v % 4),
+        st.integers(1, 30).filter(lambda v: v % 4),
+    )
+
+    @given(odd_shapes, st.integers(0, 5))
+    @settings(max_examples=25)
+    def test_q_round_trip_random_spec(self, shape, seed):
+        bpd = _random_bpd(shape, 4, seed=seed, scheme="random")
+        again = BlockPermutedDiagonalMatrix.from_q(
+            bpd.to_q(), bpd.shape, bpd.p, bpd.ks
+        )
+        np.testing.assert_allclose(again.to_dense(), bpd.to_dense())
+        assert again.shape == bpd.shape and again.nnz == bpd.nnz
+
+    @given(odd_shapes, st.integers(0, 5))
+    @settings(max_examples=25)
+    def test_double_transpose_round_trip(self, shape, seed):
+        bpd = _random_bpd(shape, 4, seed=seed, scheme="random")
+        twice = bpd.transpose().transpose()
+        assert twice.shape == bpd.shape
+        np.testing.assert_array_equal(twice.ks, bpd.ks)
+        np.testing.assert_allclose(twice.to_dense(), bpd.to_dense(), atol=1e-12)
+
+    @given(odd_shapes, st.integers(0, 5))
+    @settings(max_examples=25)
+    def test_transpose_products_match_dense(self, shape, seed):
+        bpd = _random_bpd(shape, 4, seed=seed, scheme="random")
+        rng = np.random.default_rng(seed)
+        y = rng.normal(size=(3, shape[0]))
+        np.testing.assert_allclose(
+            bpd.rmatmat(y), y @ bpd.to_dense(), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            bpd.transpose().matmat(y), y @ bpd.to_dense(), atol=1e-12
+        )
+
+    @given(odd_shapes)
+    @settings(max_examples=25)
+    def test_from_dense_round_trip_random_spec(self, shape):
+        rng = np.random.default_rng(21)
+        dense = rng.normal(size=shape)
+        bpd = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 4, spec=PermutationSpec(scheme="random", seed=7)
+        )
+        again = BlockPermutedDiagonalMatrix.from_dense(bpd.to_dense(), 4, ks=bpd.ks)
+        np.testing.assert_allclose(again.to_dense(), bpd.to_dense())
+
+
 class TestSerialization:
     def test_save_load_round_trip(self, tmp_path):
         from repro.core import load_bpd, save_bpd

@@ -131,6 +131,72 @@ class TestPermDiagLinear:
         np.testing.assert_allclose(layer.to_dense_weight(), approx.to_dense())
         np.testing.assert_allclose(layer.bias.value, np.arange(8.0))
 
+    def test_from_matrix_non_divisible_shape_random_spec(self):
+        """Regression: from_matrix used to rebuild with a fresh layer and
+        poke ``ks``/``shape`` behind validation, breaking non-multiple-of-p
+        shapes and non-natural permutation specs."""
+        from repro.core import BlockPermutedDiagonalMatrix
+
+        matrix = BlockPermutedDiagonalMatrix.random(
+            (10, 13), 4, spec=PermutationSpec(scheme="random", seed=3), rng=3
+        )
+        layer = PermDiagLinear.from_matrix(matrix, bias=np.ones(10))
+        assert layer.in_features == 13 and layer.out_features == 10
+        np.testing.assert_array_equal(layer.ks, matrix.ks)
+        np.testing.assert_allclose(layer.to_dense_weight(), matrix.to_dense())
+        x = rng.normal(size=(4, 13))
+        np.testing.assert_allclose(
+            layer.forward(x), x @ matrix.to_dense().T + 1.0, atol=1e-12
+        )
+
+    def test_from_matrix_gradcheck_non_divisible(self):
+        from repro.core import BlockPermutedDiagonalMatrix
+
+        matrix = BlockPermutedDiagonalMatrix.random(
+            (9, 11), 4, spec=PermutationSpec(scheme="random", seed=5), rng=5
+        )
+        layer = PermDiagLinear.from_matrix(matrix, bias=np.zeros(9))
+        x = np.random.default_rng(6).normal(size=(3, 11))
+        assert check_input_gradient(layer, x) < 1e-5
+        assert check_parameter_gradients(layer, x) < 1e-5
+
+    def test_from_matrix_shares_storage_with_parameter(self):
+        from repro.core import BlockPermutedDiagonalMatrix
+
+        matrix = BlockPermutedDiagonalMatrix.random((8, 8), 4, rng=7)
+        layer = PermDiagLinear.from_matrix(matrix)
+        assert layer.weight.value is layer.matrix.data
+        layer.weight.value += 1.0  # optimizer-style in-place update
+        np.testing.assert_allclose(layer.matrix.data, layer.weight.value)
+        assert layer.bias is None
+
+    def test_from_matrix_rejects_bad_bias(self):
+        from repro.core import BlockPermutedDiagonalMatrix
+
+        matrix = BlockPermutedDiagonalMatrix.random((8, 8), 4, rng=8)
+        with pytest.raises(ValueError):
+            PermDiagLinear.from_matrix(matrix, bias=np.zeros(5))
+
+    def test_from_matrix_structure_preserved_through_training(self):
+        from repro.core import BlockPermutedDiagonalMatrix
+        from repro.nn import SGD
+
+        matrix = BlockPermutedDiagonalMatrix.random(
+            (10, 13), 4, spec=PermutationSpec(scheme="random", seed=9), rng=9
+        )
+        layer = PermDiagLinear.from_matrix(matrix, bias=np.zeros(10))
+        mask = layer.matrix.dense_mask()
+        opt = SGD(layer.parameters(), lr=0.05)
+        for _ in range(5):
+            x = rng.normal(size=(4, 13))
+            y = layer.forward(x)
+            layer.zero_grad()
+            layer.backward(y)
+            opt.step()
+        dense = layer.to_dense_weight()
+        assert np.all(dense[~mask] == 0)
+        assert np.any(dense != 0)
+
     def test_optimizer_update_reflected_in_matrix(self):
         """The Parameter and the structured matrix share storage."""
         layer = PermDiagLinear(6, 6, p=2, rng=11)
