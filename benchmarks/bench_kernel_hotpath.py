@@ -5,16 +5,25 @@ Measures the three products every training step pays --
 - forward: ``Y = matmat(X)``;
 - backward: ``dX = rmatmat(dY)`` plus ``dQ = grad_data(X, dY)``;
 
--- through the cached index plan, and compares the backward pass against a
-*naive* baseline that mimics the pre-plan kernel: a fresh structured matrix
-per call (indices and support recomputed from scratch) whose input gradient
-goes through a materialized ``transpose()`` object.  The ``bwd_speedup``
-column is therefore the tracked regression metric for the kernel cache.
+-- through the cached index plan and the selected kernel backend, and
+compares against two frozen baselines:
+
+- **naive** (pre-PR 1): a fresh structured matrix per call (indices and
+  support recomputed from scratch) whose input gradient goes through a
+  materialized ``transpose()`` object.  ``bwd_speedup`` against it is the
+  tracked regression metric for the kernel cache.
+- **pr1**: the PR 1 kernel -- cached plan, transpose-free backward, but
+  int64 CSR skeletons and the pre-dispatch ``grad_data``.  ``grad_vs_pr1``
+  (and ``bwd_ms`` vs ``pr1_bwd_ms``) track what the int32-CSR backend
+  dispatch layer buys on top of the plan cache; the acceptance bar is
+  ``grad_vs_pr1 >= 1.0`` at (m=n=4096, p=64, batch=128).
 
 Usage::
 
-    python benchmarks/bench_kernel_hotpath.py           # full grid
-    python benchmarks/bench_kernel_hotpath.py --smoke   # tiny grid for CI
+    python benchmarks/bench_kernel_hotpath.py                     # full grid
+    python benchmarks/bench_kernel_hotpath.py --smoke             # CI canary
+    python benchmarks/bench_kernel_hotpath.py --backend gather    # pin backend
+    python benchmarks/bench_kernel_hotpath.py --compare-backends  # per-backend table
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ import time
 import numpy as np
 
 from _common import emit, format_table
-from repro.core import BlockPermutedDiagonalMatrix
+from repro.core import BlockPermutedDiagonalMatrix, available_backends
 
 # (m, n, p, batch); the (4096, 4096, 64, 128) point is the acceptance grid.
 FULL_GRID = [
@@ -53,7 +62,7 @@ def _time(fn, reps: int, warmup: int = 1) -> float:
 
 
 def _naive_backward(matrix: BlockPermutedDiagonalMatrix, x, dy) -> None:
-    """Faithful replica of the pre-plan backward step.
+    """Faithful replica of the pre-plan (PR 0) backward step.
 
     Before the index-plan cache the backward pass (a) materialized a brand
     new ``transpose()`` matrix object whose indices were recomputed from
@@ -86,9 +95,56 @@ def _naive_backward(matrix: BlockPermutedDiagonalMatrix, x, dy) -> None:
     np.einsum("bic,bijc->ijc", dy_blocks, gathered) * plan.support
 
 
-def bench_point(m: int, n: int, p: int, batch: int, reps: int) -> tuple:
+def _pr1_style_matrix(
+    matrix: BlockPermutedDiagonalMatrix,
+) -> BlockPermutedDiagonalMatrix:
+    """An independent copy of ``matrix`` frozen at PR 1 behaviour.
+
+    PR 1 cached the index plan and ran the backward transpose-free, but its
+    CSR skeletons stored int64 ``indptr``/``indices``.  The copy gets its
+    own plan whose cached skeletons are re-cast to int64, so spmm against
+    it pays exactly the PR 1 index traffic.
+    """
+    pr1 = BlockPermutedDiagonalMatrix(matrix.data, matrix.ks, shape=matrix.shape)
+    plan = pr1._get_plan().warm()
+    for key in (False, True):
+        indptr, indices, perm = plan.csr_struct(key)
+        plan._csr_structs[key] = (
+            indptr.astype(np.int64),
+            indices.astype(np.int64),
+            perm.astype(np.int64),
+        )
+    return pr1
+
+
+def _pr1_grad(matrix: BlockPermutedDiagonalMatrix, x, dy) -> np.ndarray:
+    """Verbatim replica of the PR 1 ``grad_data`` (transposed gather)."""
+    plan = matrix._get_plan()
+    batch = x.shape[0]
+    x_t = np.ascontiguousarray(x.T)
+    dy_t = np.ascontiguousarray(dy.T)
+    if not plan.aligned_n:
+        x_pad = np.zeros((matrix.nb * matrix.p, batch))
+        x_pad[: x_t.shape[0]] = x_t
+        x_t = x_pad
+    if not plan.aligned_m:
+        dy_pad = np.zeros((matrix.mb * matrix.p, batch))
+        dy_pad[: dy_t.shape[0]] = dy_t
+        dy_t = dy_pad
+    dy_blocks = dy_t.reshape(matrix.mb, matrix.p, batch)
+    gathered = x_t[plan.flat_cols].reshape(matrix.mb, matrix.nb, matrix.p, batch)
+    grad = np.einsum("icb,ijcb->ijc", dy_blocks, gathered)
+    if plan.full_support:
+        return grad
+    return grad * plan.support
+
+
+def bench_point(
+    m: int, n: int, p: int, batch: int, reps: int, backend: str | None
+) -> tuple:
     rng = np.random.default_rng(0)
-    matrix = BlockPermutedDiagonalMatrix.random((m, n), p, rng=rng)
+    matrix = BlockPermutedDiagonalMatrix.random((m, n), p, rng=rng, backend=backend)
+    pr1 = _pr1_style_matrix(matrix)
     x = rng.normal(size=(batch, n))
     dy = rng.normal(size=(batch, m))
 
@@ -96,6 +152,9 @@ def bench_point(m: int, n: int, p: int, batch: int, reps: int) -> tuple:
     bwd_s = _time(
         lambda: (matrix.rmatmat(dy), matrix.grad_data(x, dy)), reps
     )
+    grad_s = _time(lambda: matrix.grad_data(x, dy), reps)
+    pr1_bwd_s = _time(lambda: (pr1.rmatmat(dy), _pr1_grad(pr1, x, dy)), reps)
+    pr1_grad_s = _time(lambda: _pr1_grad(pr1, x, dy), reps)
     naive_s = _time(lambda: _naive_backward(matrix, x, dy), reps)
 
     # A forward touches batch * nnz multiply-accumulates; the backward pair
@@ -108,13 +167,37 @@ def bench_point(m: int, n: int, p: int, batch: int, reps: int) -> tuple:
         n,
         p,
         batch,
+        matrix.resolved_backend(),
         f"{fwd_s * 1e3:.2f}",
         f"{fwd_gmacs:.2f}",
         f"{bwd_s * 1e3:.2f}",
         f"{bwd_gmacs:.2f}",
+        f"{grad_s * 1e3:.2f}",
+        f"{pr1_bwd_s * 1e3:.2f}",
+        f"{pr1_grad_s * 1e3:.2f}",
         f"{naive_s * 1e3:.2f}",
+        f"{pr1_grad_s / grad_s:.2f}x",
         f"{naive_s / bwd_s:.2f}x",
     )
+
+
+HEADERS = [
+    "m",
+    "n",
+    "p",
+    "batch",
+    "backend",
+    "fwd_ms",
+    "fwd_GMAC/s",
+    "bwd_ms",
+    "bwd_GMAC/s",
+    "grad_ms",
+    "pr1_bwd_ms",
+    "pr1_grad_ms",
+    "naive_bwd_ms",
+    "grad_vs_pr1",
+    "bwd_speedup",
+]
 
 
 def main() -> None:
@@ -127,29 +210,40 @@ def main() -> None:
     parser.add_argument(
         "--reps", type=int, default=None, help="timing repetitions per point"
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("auto", "gather", "csr", "numba"),
+        help="pin the kernel backend under test (default: auto selection)",
+    )
+    parser.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help="run every available backend per grid point and emit a "
+        "side-by-side table (bench_kernel_backends.txt)",
+    )
     args = parser.parse_args()
     grid = SMOKE_GRID if args.smoke else FULL_GRID
     reps = args.reps if args.reps is not None else (2 if args.smoke else 5)
     if reps < 1:
         parser.error("--reps must be >= 1")
 
-    rows = [bench_point(m, n, p, batch, reps) for m, n, p, batch in grid]
-    table = format_table(
-        [
-            "m",
-            "n",
-            "p",
-            "batch",
-            "fwd_ms",
-            "fwd_GMAC/s",
-            "bwd_ms",
-            "bwd_GMAC/s",
-            "naive_bwd_ms",
-            "bwd_speedup",
-        ],
-        rows,
-    )
-    emit("bench_kernel_hotpath", table)
+    if args.compare_backends:
+        rows = []
+        for point in grid:
+            for backend in available_backends():
+                rows.append(bench_point(*point, reps, backend))
+        emit("bench_kernel_backends", format_table(HEADERS, rows))
+        return
+
+    backend = None if args.backend in (None, "auto") else args.backend
+    if backend is not None and backend not in available_backends():
+        parser.error(
+            f"backend {backend!r} is not available on this machine "
+            f"(available: {', '.join(available_backends())})"
+        )
+    rows = [bench_point(*point, reps, backend) for point in grid]
+    emit("bench_kernel_hotpath", format_table(HEADERS, rows))
 
 
 if __name__ == "__main__":

@@ -2,11 +2,19 @@
 
 Usage (module form):
 
-    python -m repro.cli simulate  --workload Alex-FC6 [--pes 32]
+    python -m repro.cli simulate  --workload Alex-FC6 [--pes 32] [--backend csr]
     python -m repro.cli compare   --workload Alex-FC7
     python -m repro.cli storage   --model alexnet|resnet20|wrn48
     python -m repro.cli scale     --workload NMT-1
     python -m repro.cli memory    --sram-mb 16
+
+The kernel backend used for the numerical products can also be selected
+process-wide with the ``REPRO_BACKEND`` environment variable
+(``gather``/``csr``/``numba``; see :mod:`repro.core.backends`).
+
+Command implementations are plain library code: they raise typed errors
+(e.g. :class:`repro.hw.UnknownWorkloadError`) and only :func:`main`
+converts those into ``SystemExit`` for terminal users.
 """
 
 from __future__ import annotations
@@ -17,23 +25,17 @@ import sys
 __all__ = ["build_parser", "main"]
 
 
-def _find_workload(name: str):
-    from repro.hw import TABLE_VII_WORKLOADS
-
-    for workload in TABLE_VII_WORKLOADS:
-        if workload.name.lower() == name.lower():
-            return workload
-    names = ", ".join(w.name for w in TABLE_VII_WORKLOADS)
-    raise SystemExit(f"unknown workload {name!r}; choose from: {names}")
-
-
 def _cmd_simulate(args) -> int:
-    from repro.hw import EngineConfig, PermDNNEngine, make_workload_instance
+    from repro.hw import EngineConfig, PermDNNEngine, find_workload, make_workload_instance
     from repro.hw.verify import verify_engine
 
-    workload = _find_workload(args.workload)
+    workload = find_workload(args.workload)
     engine = PermDNNEngine(EngineConfig(n_pe=args.pes))
     matrix, x = make_workload_instance(workload, rng=args.seed)
+    if args.backend:
+        # Pin the workload matrix only -- never the process-wide default,
+        # which would leak into later library calls.
+        matrix.set_backend(args.backend)
     verify_engine(engine, matrix, x)
     result = engine.run_fc_layer(matrix, x, enforce_capacity=not args.no_capacity)
     perf = engine.performance(result, (workload.m, workload.n))
@@ -51,10 +53,10 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    from repro.hw import PermDNNEngine, make_workload_instance
+    from repro.hw import PermDNNEngine, find_workload, make_workload_instance
     from repro.hw.baselines import EIEConfig, EIESimulator
 
-    workload = _find_workload(args.workload)
+    workload = find_workload(args.workload)
     engine = PermDNNEngine()
     eie = EIESimulator(EIEConfig.projected_28nm())
     matrix, x = make_workload_instance(workload, rng=args.seed)
@@ -89,8 +91,8 @@ def _cmd_storage(args) -> int:
         model = build_resnet(
             depth=50, policy=WRN48_POLICY, base_width=16, widen_factor=8, rng=0
         )
-    else:
-        raise SystemExit(f"unknown model {args.model!r}")
+    else:  # unreachable through argparse choices; typed for library callers
+        raise ValueError(f"unknown model {args.model!r}")
     report = model_storage_report(model)
     print(f"model              : {args.model}")
     print(f"dense weights      : {report.dense_weights:,}")
@@ -103,9 +105,9 @@ def _cmd_storage(args) -> int:
 
 
 def _cmd_scale(args) -> int:
-    from repro.hw import EngineConfig, PermDNNEngine, make_workload_instance
+    from repro.hw import EngineConfig, PermDNNEngine, find_workload, make_workload_instance
 
-    workload = _find_workload(args.workload)
+    workload = find_workload(args.workload)
     matrix, x = make_workload_instance(workload, rng=args.seed)
     base = None
     print(f"{workload.name}: speedup vs 1 PE")
@@ -147,6 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--no-capacity", action="store_true",
                      help="waive the per-PE SRAM capacity check")
+    sim.add_argument("--backend", default=None,
+                     help="kernel backend for the numerics "
+                          "(gather/csr/numba; default: auto)")
     sim.set_defaults(func=_cmd_simulate)
 
     cmp_ = sub.add_parser("compare", help="PermDNN vs EIE on one layer")
@@ -171,9 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the selected command.
+
+    This is the only place user-facing errors become ``SystemExit``; the
+    command implementations raise typed exceptions so they stay usable as
+    library functions.
+    """
+    from repro.core import BackendUnavailableError, UnknownBackendError
+    from repro.hw import UnknownWorkloadError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (
+        UnknownWorkloadError,
+        UnknownBackendError,
+        BackendUnavailableError,
+    ) as exc:
+        # Only user-input errors become clean exits; genuine library bugs
+        # (arbitrary ValueError and friends) keep their tracebacks.
+        raise SystemExit(f"error: {exc}") from exc
 
 
 if __name__ == "__main__":

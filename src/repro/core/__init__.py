@@ -17,8 +17,19 @@ Public API
 - :func:`natural_permutation`, :func:`random_permutation` -- ``k_l`` selection.
 - :func:`approximate_pd` / :func:`approximate_pd_tensor` -- optimal
   L2 projection of a dense matrix/tensor onto the PD support (Sec. III-F).
+- :func:`set_default_backend` / :func:`available_backends` -- process-wide
+  kernel-backend selection (see :mod:`repro.core.backends`); individual
+  matrices can pin a backend via their ``backend=`` argument.
 """
 
+from repro.core.backends import (
+    BackendUnavailableError,
+    UnknownBackendError,
+    available_backends,
+    default_backend,
+    get_backend,
+    set_default_backend,
+)
 from repro.core.permutation import (
     PermutationSpec,
     block_index,
@@ -45,16 +56,21 @@ from repro.core.storage import (
 )
 
 __all__ = [
+    "BackendUnavailableError",
     "PermutationSpec",
     "PermutedDiagonalMatrix",
     "BlockPermutedDiagonalMatrix",
     "BlockPermDiagTensor4D",
     "StorageReport",
+    "UnknownBackendError",
     "approximate_pd",
     "approximate_pd_tensor",
+    "available_backends",
     "best_permutation_parameters",
     "block_index",
+    "default_backend",
     "dense_storage_bits",
+    "get_backend",
     "load_bpd",
     "natural_permutation",
     "nonzero_column",
@@ -62,5 +78,6 @@ __all__ = [
     "pd_storage_bits",
     "random_permutation",
     "save_bpd",
+    "set_default_backend",
     "unstructured_sparse_storage_bits",
 ]

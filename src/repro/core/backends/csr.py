@@ -1,0 +1,53 @@
+"""scipy CSR backend: int32-indexed sparse products off the cached skeleton.
+
+The CSR skeleton (``indptr``/``indices``) comes from the index plan and is
+stored in int32 whenever the matrix dimensions permit -- scipy's sparsetools
+native index type -- which halves the index traffic of every spmm against
+the int64 skeletons of earlier revisions.  Only the ``nnz`` value buffer is
+refreshed per call (a single plan-ordered gather), so in-place weight
+updates are always reflected without rebuilding structure.
+
+The weight gradient reuses the same column skeleton through the shared
+batched contraction (:func:`~repro.core.backends.gather.batched_grad_data`):
+sparse storage buys nothing there because the output is exactly the dense
+``(mb, nb, p)`` value array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends.base import KernelBackend
+from repro.core.backends.gather import batched_grad_data
+
+__all__ = ["CsrBackend"]
+
+
+class CsrBackend(KernelBackend):
+    """Products through ``scipy.sparse`` CSR views of ``W`` and ``W.T``."""
+
+    name = "csr"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        # Consult the module attribute (not a fresh import) so tests that
+        # monkeypatch ``block_perm_diag._scipy_sparse`` see the backend
+        # become unavailable.
+        from repro.core import block_perm_diag
+
+        return block_perm_diag._scipy_sparse is not None
+
+    def matmat(self, matrix, x: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(matrix._csr(False).dot(x.T).T)
+
+    def rmatmat(self, matrix, y: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(matrix._csr(True).dot(y.T).T)
+
+    def matvec(self, matrix, x: np.ndarray) -> np.ndarray:
+        return matrix._csr(False) @ x
+
+    def rmatvec(self, matrix, y: np.ndarray) -> np.ndarray:
+        return matrix._csr(True) @ y
+
+    def grad_data(self, matrix, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        return batched_grad_data(matrix, x, dy)

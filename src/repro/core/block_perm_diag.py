@@ -45,9 +45,31 @@ visible to the matrix with zero copies.  In-place writes to ``data`` are
 fine for *values*; writing non-zeros into the padding region of an aliased
 buffer is unsupported (products ignore those slots, but storage accounting
 and ``to_q`` round-trips assume they stay zero).
+
+Backend dispatch
+----------------
+The products themselves execute through a pluggable
+:mod:`repro.core.backends` implementation: ``csr`` (scipy, int32-indexed
+CSR skeletons -- the default when scipy imports), ``gather`` (pure numpy)
+or ``numba`` (optional JIT).  Selection order per call: the matrix's own
+``backend=`` argument / :meth:`~BlockPermutedDiagonalMatrix.set_backend`,
+then :func:`repro.core.backends.set_default_backend`, then the
+``REPRO_BACKEND`` environment variable, then auto-detection.
+
+Plan serialization
+------------------
+A warmed :class:`_IndexPlan` round-trips through
+:meth:`~BlockPermutedDiagonalMatrix.plan_bytes` /
+:meth:`~BlockPermutedDiagonalMatrix.from_plan` (and
+:meth:`~BlockPermutedDiagonalMatrix.adopt_plan`), so deployment surfaces
+(``repro.hw.engine`` images, ``repro.nn.serialization`` checkpoints,
+``repro.core.storage``) can persist the index arithmetic once and reload
+matrices without recomputing any of it.
 """
 
 from __future__ import annotations
+
+import io
 
 import numpy as np
 
@@ -56,14 +78,23 @@ try:  # scipy is an install requirement but stay importable without it
 except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
     _scipy_sparse = None
 
+from repro.core import backends as _backends
 from repro.core.permutation import PermutationSpec
 
 __all__ = ["BlockPermutedDiagonalMatrix"]
 
-# Below this many gathered elements, the (scipy-free) fallback products use
-# a single fancy-indexing gather; above it, they fall back to a block-row
-# loop to bound memory.
+# Hard cap on gathered elements per slab in the gather backend; together
+# with the (much smaller) cache-blocking target in
+# :mod:`repro.core.backends.gather` it bounds temporary memory and forces
+# the chunked transposed path for large products.
 _GATHER_ELEMENT_LIMIT = 50_000_000
+
+# Version tag of the _IndexPlan.to_bytes() wire format.
+_PLAN_FORMAT_VERSION = 1
+
+# Lazily-built plan members, as (serialization key, attribute) pairs; each
+# is a tuple of arrays when built, None otherwise.
+_PLAN_LAZY_FIELDS = (("t", "_t_arrays"), ("sc", "_support_coords"))
 
 
 class _IndexPlan:
@@ -165,9 +196,14 @@ class _IndexPlan:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """CSR skeleton ``(indptr, indices, perm)`` of ``W`` (or ``W.T``).
 
-        ``perm`` gathers ``data.ravel()`` into CSR order, so refreshing a
-        cached sparse matrix after an in-place weight update is a single
-        ``nnz``-sized gather.
+        ``indptr``/``indices`` are int32 whenever the matrix dimensions
+        permit (scipy's native index type -- spmm then moves half the index
+        bytes of an int64 skeleton); ``perm`` stays at the platform index
+        type because it is consumed by numpy fancy indexing, which would
+        otherwise re-cast it on every value refresh.  ``perm`` gathers
+        ``data.ravel()`` into CSR order, so refreshing a cached sparse
+        matrix after an in-place weight update is a single ``nnz``-sized
+        gather.
         """
         key = bool(transposed)
         if key not in self._csr_structs:
@@ -176,11 +212,122 @@ class _IndexPlan:
                 rows, cols, height = c, r, self.shape[1]
             else:
                 rows, cols, height = r, c, self.shape[0]
+            idx_dtype = (
+                np.int32
+                if max(self.shape[0], self.shape[1], self.nnz) < 2**31
+                else np.int64
+            )
             order = np.lexsort((cols, rows))
-            indptr = np.zeros(height + 1, dtype=np.int64)
-            np.cumsum(np.bincount(rows, minlength=height), out=indptr[1:])
-            self._csr_structs[key] = (indptr, cols[order], flat[order])
+            indptr = np.zeros(height + 1, dtype=idx_dtype)
+            indptr[1:] = np.cumsum(np.bincount(rows, minlength=height))
+            indices = cols[order].astype(idx_dtype, copy=False)
+            perm = flat[order]
+            for arr in (indptr, indices, perm):
+                arr.setflags(write=False)
+            self._csr_structs[key] = (indptr, indices, perm)
         return self._csr_structs[key]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def warm(self) -> "_IndexPlan":
+        """Force-build every lazy member (transpose pair, support
+        coordinates, both CSR skeletons).  Returns ``self``."""
+        self.support_coords()
+        self.transpose_arrays()
+        self.csr_struct(False)
+        self.csr_struct(True)
+        return self
+
+    def to_bytes(self, warm: bool = True) -> bytes:
+        """Serialize the plan (an ``.npz`` payload) for later reattachment.
+
+        With ``warm`` (the default) every lazy member is built first, so a
+        plan restored by :meth:`from_bytes` never recomputes *any* index
+        arithmetic -- the property deployment surfaces rely on.  Pass
+        ``warm=False`` to persist only what has been built so far (e.g. a
+        forward-only plan for an inference-only artifact).
+        """
+        if warm:
+            self.warm()
+        payload: dict[str, np.ndarray] = {
+            "version": np.int64(_PLAN_FORMAT_VERSION),
+            "p": np.int64(self.p),
+            "shape": np.asarray(self.shape, dtype=np.int64),
+            "nnz": np.int64(self.nnz),
+            "ks": self.ks,
+            "rows": self.rows,
+            "cols": self.cols,
+            "support": self.support,
+        }
+        for key, attr in _PLAN_LAZY_FIELDS:
+            value = getattr(self, attr)
+            if value is not None:
+                for pos, arr in enumerate(value):
+                    payload[f"{key}{pos}"] = arr
+        for transposed, struct in self._csr_structs.items():
+            for pos, arr in enumerate(struct):
+                payload[f"csr{int(transposed)}_{pos}"] = arr
+        buffer = io.BytesIO()
+        np.savez(buffer, **payload)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "_IndexPlan":
+        """Rebuild a plan from :meth:`to_bytes` without index recomputation.
+
+        Every array is restored verbatim (and re-frozen read-only); members
+        absent from the payload stay lazy and would be built on first use.
+        """
+        with np.load(io.BytesIO(bytes(blob))) as archive:
+            version = int(archive["version"])
+            if version != _PLAN_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported index-plan format version {version} "
+                    f"(expected {_PLAN_FORMAT_VERSION})"
+                )
+            plan = cls.__new__(cls)
+            plan.p = int(archive["p"])
+            plan.shape = tuple(int(v) for v in archive["shape"])
+            plan.nnz = int(archive["nnz"])
+            ks = archive["ks"]
+            plan.mb, plan.nb = ks.shape
+            m, n = plan.shape
+            plan.aligned_m = m == plan.mb * plan.p
+            plan.aligned_n = n == plan.nb * plan.p
+            plan.full_support = plan.aligned_m and plan.aligned_n
+            rows, cols, support = (
+                archive["rows"], archive["cols"], archive["support"]
+            )
+            for arr in (ks, rows, cols, support):
+                arr.setflags(write=False)
+            plan.ks = ks
+            plan.rows, plan.cols, plan.support = rows, cols, support
+            plan.flat_cols = cols.reshape(-1)
+            for key, attr in _PLAN_LAZY_FIELDS:
+                if f"{key}0" in archive.files:
+                    arrays = []
+                    pos = 0
+                    while f"{key}{pos}" in archive.files:
+                        arr = archive[f"{key}{pos}"]
+                        arr.setflags(write=False)
+                        arrays.append(arr)
+                        pos += 1
+                    setattr(plan, attr, tuple(arrays))
+                else:
+                    setattr(plan, attr, None)
+            plan._csr_structs = {}
+            for transposed in (False, True):
+                prefix = f"csr{int(transposed)}_"
+                if f"{prefix}0" in archive.files:
+                    struct = tuple(
+                        archive[f"{prefix}{pos}"] for pos in range(3)
+                    )
+                    for arr in struct:
+                        arr.setflags(write=False)
+                    plan._csr_structs[transposed] = struct
+        return plan
 
 
 class BlockPermutedDiagonalMatrix:
@@ -203,6 +350,9 @@ class BlockPermutedDiagonalMatrix:
         ks: integer array of shape ``(mb, nb)`` with per-block permutation
             parameters (reduced modulo ``p``).
         shape: logical ``(m, n)``; defaults to the padded ``(mb*p, nb*p)``.
+        backend: pin this matrix to a named kernel backend (``"gather"``,
+            ``"csr"``, ``"numba"``); ``None`` follows the process default
+            (see :mod:`repro.core.backends`).
     """
 
     def __init__(
@@ -210,6 +360,7 @@ class BlockPermutedDiagonalMatrix:
         data: np.ndarray,
         ks: np.ndarray,
         shape: tuple[int, int] | None = None,
+        backend: str | None = None,
     ) -> None:
         data = np.asarray(data, dtype=np.float64)
         ks = np.asarray(ks, dtype=np.int64)
@@ -236,6 +387,7 @@ class BlockPermutedDiagonalMatrix:
         self._shape = (int(m), int(n))
         self._plan: _IndexPlan | None = None
         self._csr_cache: dict[bool, tuple] = {}
+        self._backend = self._normalize_backend(backend)
         self.data = data  # through the property: masks padding only if needed
 
     # ------------------------------------------------------------------
@@ -275,6 +427,44 @@ class BlockPermutedDiagonalMatrix:
             if np.any(value[~support]):
                 value = value * support  # force padding region to zero
         self._data = value
+
+    # ------------------------------------------------------------------
+    # Backend selection
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_backend(backend: str | None) -> str | None:
+        if backend is None:
+            return None
+        name = _backends.validate_backend_name(backend)
+        return None if name == _backends.AUTO else name
+
+    @property
+    def backend(self) -> str | None:
+        """Pinned backend name, or ``None`` when following the default."""
+        return self._backend
+
+    def set_backend(self, backend: str | None) -> "BlockPermutedDiagonalMatrix":
+        """Pin (or, with ``None``/``"auto"``, unpin) this matrix's backend.
+
+        Only the dispatch target changes -- the cached index plan and CSR
+        value buffers survive, so switching is free.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        self._backend = self._normalize_backend(backend)
+        return self
+
+    def resolved_backend(self) -> str:
+        """The backend name a product call would execute on right now."""
+        return self._resolve_backend().name
+
+    def _resolve_backend(self) -> _backends.KernelBackend:
+        name = self._backend or _backends.default_backend()
+        if name == _backends.AUTO:
+            name = "csr" if _scipy_sparse is not None else "gather"
+        return _backends.get_backend(name)
 
     def set_structure(
         self,
@@ -337,6 +527,7 @@ class BlockPermutedDiagonalMatrix:
         out._shape = self._shape
         out._plan = self._get_plan()
         out._csr_cache = {}
+        out._backend = self._backend
         out.data = data
         return out
 
@@ -345,6 +536,72 @@ class BlockPermutedDiagonalMatrix:
         if plan is None:
             plan = self._plan = _IndexPlan(self._ks, self._shape, self.p)
         return plan
+
+    # ------------------------------------------------------------------
+    # Plan serialization
+    # ------------------------------------------------------------------
+
+    def plan_bytes(self, warm: bool = True) -> bytes:
+        """Serialized index plan (see :meth:`_IndexPlan.to_bytes`).
+
+        Persist this next to the packed values and rebuild with
+        :meth:`from_plan` (or reattach with :meth:`adopt_plan`) to skip all
+        index arithmetic at load time.
+        """
+        return self._get_plan().to_bytes(warm=warm)
+
+    def adopt_plan(
+        self, plan: "_IndexPlan | bytes"
+    ) -> "BlockPermutedDiagonalMatrix":
+        """Attach a precomputed (e.g. deserialized) index plan.
+
+        The plan must describe exactly this matrix's structure
+        ``(ks, shape, p)``; a mismatch raises ``ValueError`` rather than
+        silently corrupting products.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        if isinstance(plan, (bytes, bytearray, memoryview)):
+            plan = _IndexPlan.from_bytes(plan)
+        if (
+            plan.p != self.p
+            or plan.shape != self._shape
+            or plan.ks.shape != self._ks.shape
+            or not np.array_equal(plan.ks, self._ks)
+        ):
+            raise ValueError(
+                f"plan structure (p={plan.p}, shape={plan.shape}) does not "
+                f"match matrix (p={self.p}, shape={self._shape})"
+            )
+        self._plan = plan
+        self._csr_cache = {}
+        return self
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: "_IndexPlan | bytes",
+        data: np.ndarray,
+        backend: str | None = None,
+    ) -> "BlockPermutedDiagonalMatrix":
+        """Matrix around a precomputed plan: **no index arithmetic runs**.
+
+        The inverse of (:meth:`plan_bytes`, :meth:`to_q`): deployment
+        surfaces persist both and reconstruct here, paying only the
+        deserialization.  ``data`` follows the aliasing contract.
+        """
+        if isinstance(plan, (bytes, bytearray, memoryview)):
+            plan = _IndexPlan.from_bytes(plan)
+        out = cls.__new__(cls)
+        out.p = plan.p
+        out._ks = plan.ks
+        out._shape = plan.shape
+        out._plan = plan
+        out._csr_cache = {}
+        out._backend = cls._normalize_backend(backend)
+        out.data = data
+        return out
 
     # ------------------------------------------------------------------
     # Constructors
@@ -357,6 +614,7 @@ class BlockPermutedDiagonalMatrix:
         p: int,
         spec: PermutationSpec | None = None,
         ks: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> "BlockPermutedDiagonalMatrix":
         """All-zero matrix of logical ``shape`` with block size ``p``."""
         m, n = shape
@@ -364,7 +622,7 @@ class BlockPermutedDiagonalMatrix:
         if ks is None:
             spec = spec or PermutationSpec()
             ks = spec.generate(mb * nb, p).reshape(mb, nb)
-        return cls(np.zeros((mb, nb, p)), ks, shape=shape)
+        return cls(np.zeros((mb, nb, p)), ks, shape=shape, backend=backend)
 
     @classmethod
     def random(
@@ -374,6 +632,7 @@ class BlockPermutedDiagonalMatrix:
         spec: PermutationSpec | None = None,
         scale: float | None = None,
         rng: np.random.Generator | int | None = None,
+        backend: str | None = None,
     ) -> "BlockPermutedDiagonalMatrix":
         """Gaussian-initialized PD matrix.
 
@@ -381,7 +640,7 @@ class BlockPermutedDiagonalMatrix:
         ``n / p`` non-zero inputs, so this matches He/Glorot-style fan-in
         scaling on the *effective* (sparse) fan-in.
         """
-        out = cls.zeros(shape, p, spec=spec)
+        out = cls.zeros(shape, p, spec=spec, backend=backend)
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         if scale is None:
@@ -396,6 +655,7 @@ class BlockPermutedDiagonalMatrix:
         p: int,
         ks: np.ndarray | None = None,
         spec: PermutationSpec | None = None,
+        backend: str | None = None,
     ) -> "BlockPermutedDiagonalMatrix":
         """Project a dense matrix onto the PD support (keep on-diagonal entries).
 
@@ -406,7 +666,7 @@ class BlockPermutedDiagonalMatrix:
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 2:
             raise ValueError(f"expected 2-D matrix, got shape {dense.shape}")
-        out = cls.zeros(dense.shape, p, spec=spec, ks=ks)
+        out = cls.zeros(dense.shape, p, spec=spec, ks=ks, backend=backend)
         flat, rows, cols = out._get_plan().support_coords()
         data = np.zeros(out.data.shape)
         data.reshape(-1)[flat] = dense[rows, cols]
@@ -494,6 +754,7 @@ class BlockPermutedDiagonalMatrix:
         shape: tuple[int, int],
         p: int,
         ks: np.ndarray,
+        backend: str | None = None,
     ) -> "BlockPermutedDiagonalMatrix":
         """Rebuild from a packed ``q`` vector (inverse of :meth:`to_q`)."""
         m, n = shape
@@ -504,7 +765,12 @@ class BlockPermutedDiagonalMatrix:
                 f"q has {q.size} entries, expected {mb * nb * p} for "
                 f"shape {shape} with p={p}"
             )
-        return cls(q.reshape(mb, nb, p), np.asarray(ks).reshape(mb, nb), shape=shape)
+        return cls(
+            q.reshape(mb, nb, p),
+            np.asarray(ks).reshape(mb, nb),
+            shape=shape,
+            backend=backend,
+        )
 
     def transpose(self) -> "BlockPermutedDiagonalMatrix":
         """Transpose; also block-PD, with ``k_t = (p - k) mod p`` per block.
@@ -555,9 +821,7 @@ class BlockPermutedDiagonalMatrix:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.shape[1],):
             raise ValueError(f"expected x of shape ({self.shape[1]},), got {x.shape}")
-        if _scipy_sparse is not None:
-            return self._csr(False) @ x
-        return self._matmat_gather(x[None, :])[0]
+        return self._resolve_backend().matvec(self, x)
 
     def matmat(self, x: np.ndarray) -> np.ndarray:
         """Batched forward product ``Y[b] = W @ X[b]`` for ``X`` of shape ``(B, n)``.
@@ -571,41 +835,14 @@ class BlockPermutedDiagonalMatrix:
             raise ValueError(
                 f"expected X of shape (B, {self.shape[1]}), got {x.shape}"
             )
-        if _scipy_sparse is not None:
-            return np.ascontiguousarray(self._csr(False).dot(x.T).T)
-        return self._matmat_gather(x)
-
-    def _matmat_gather(self, x: np.ndarray) -> np.ndarray:
-        """Gather/einsum fallback forward product (no scipy)."""
-        plan = self._get_plan()
-        batch = x.shape[0]
-        if plan.aligned_n:
-            x_pad = x  # aligned fast path: no zero-padded copy
-        else:
-            x_pad = np.zeros((batch, self.nb * self.p))
-            x_pad[:, : x.shape[1]] = x
-        if batch * plan.cols.size <= _GATHER_ELEMENT_LIMIT:
-            gathered = x_pad[:, plan.flat_cols].reshape(
-                batch, self.mb, self.nb, self.p
-            )
-            y_blocks = np.einsum("ijc,bijc->bic", self._data, gathered)
-        else:
-            y_blocks = np.empty((batch, self.mb, self.p))
-            for bi in range(self.mb):
-                gathered = x_pad[:, plan.cols[bi].reshape(-1)].reshape(
-                    batch, self.nb, self.p
-                )
-                y_blocks[:, bi] = np.einsum("jc,bjc->bc", self._data[bi], gathered)
-        return y_blocks.reshape(batch, self.mb * self.p)[:, : self.shape[0]]
+        return self._resolve_backend().matmat(self, x)
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         """``W.T @ y`` (gradient propagation, Eqn. (3)), transpose-free."""
         y = np.asarray(y, dtype=np.float64)
         if y.shape != (self.shape[0],):
             raise ValueError(f"expected y of shape ({self.shape[0]},), got {y.shape}")
-        if _scipy_sparse is not None:
-            return self._csr(True) @ y
-        return self._rmatmat_gather(y[None, :])[0]
+        return self._resolve_backend().rmatvec(self, y)
 
     def rmatmat(self, y: np.ndarray) -> np.ndarray:
         """Batched ``W.T`` product for ``Y`` of shape ``(B, m)`` -> ``(B, n)``.
@@ -619,42 +856,16 @@ class BlockPermutedDiagonalMatrix:
             raise ValueError(
                 f"expected Y of shape (B, {self.shape[0]}), got {y.shape}"
             )
-        if _scipy_sparse is not None:
-            return np.ascontiguousarray(self._csr(True).dot(y.T).T)
-        return self._rmatmat_gather(y)
-
-    def _rmatmat_gather(self, y: np.ndarray) -> np.ndarray:
-        """Gather/einsum fallback transpose product (no scipy)."""
-        plan = self._get_plan()
-        batch = y.shape[0]
-        if plan.aligned_m:
-            y_pad = y  # aligned fast path: no zero-padded copy
-        else:
-            y_pad = np.zeros((batch, self.mb * self.p))
-            y_pad[:, : y.shape[1]] = y
-        t_src, t_cols = plan.transpose_arrays()
-        data_flat = self._data.ravel()
-        if batch * t_cols.size <= _GATHER_ELEMENT_LIMIT:
-            data_t = data_flat[t_src]
-            gathered = y_pad[:, t_cols.reshape(-1)].reshape(
-                batch, self.nb, self.mb, self.p
-            )
-            x_blocks = np.einsum("jic,bjic->bjc", data_t, gathered)
-        else:
-            x_blocks = np.empty((batch, self.nb, self.p))
-            for bj in range(self.nb):
-                gathered = y_pad[:, t_cols[bj].reshape(-1)].reshape(
-                    batch, self.mb, self.p
-                )
-                x_blocks[:, bj] = np.einsum("ic,bic->bc", data_flat[t_src[bj]], gathered)
-        return x_blocks.reshape(batch, self.nb * self.p)[:, : self.shape[1]]
+        return self._resolve_backend().rmatmat(self, y)
 
     def grad_data(self, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """Gradient of a batch loss w.r.t. :attr:`data` (Eqn. (2)).
 
         ``dq[bi, bj, c] = sum_b dy[b, bi*p+c] * x[b, col(bi, bj, c)]`` --
         only the stored (non-zero) weights receive gradient, which is what
-        keeps the trained network block-permuted diagonal.
+        keeps the trained network block-permuted diagonal.  Backends batch
+        this against the shared column skeleton (see
+        :func:`repro.core.backends.gather.batched_grad_data`).
 
         Args:
             x: layer input, shape ``(B, n)``.
@@ -671,36 +882,7 @@ class BlockPermutedDiagonalMatrix:
             raise ValueError(
                 f"dy shape {dy.shape} does not match (B={batch}, m={self.shape[0]})"
             )
-        plan = self._get_plan()
-        # Transposed orientation: the gather then reads contiguous
-        # (batch,)-rows of ``x.T`` instead of strided columns of ``x``,
-        # which is markedly more cache friendly for large layers.
-        x_t = np.ascontiguousarray(x.T)  # (n, B)
-        dy_t = np.ascontiguousarray(dy.T)  # (m, B)
-        if not plan.aligned_n:  # aligned fast path: no zero-padded copy
-            x_pad = np.zeros((self.nb * self.p, batch))
-            x_pad[: x_t.shape[0]] = x_t
-            x_t = x_pad
-        if not plan.aligned_m:
-            dy_pad = np.zeros((self.mb * self.p, batch))
-            dy_pad[: dy_t.shape[0]] = dy_t
-            dy_t = dy_pad
-        dy_blocks = dy_t.reshape(self.mb, self.p, batch)
-        if batch * plan.cols.size <= _GATHER_ELEMENT_LIMIT:
-            gathered = x_t[plan.flat_cols].reshape(
-                self.mb, self.nb, self.p, batch
-            )
-            grad = np.einsum("icb,ijcb->ijc", dy_blocks, gathered)
-        else:
-            grad = np.empty_like(self._data)
-            for bi in range(self.mb):
-                gathered = x_t[plan.cols[bi].reshape(-1)].reshape(
-                    self.nb, self.p, batch
-                )
-                grad[bi] = np.einsum("cb,jcb->jc", dy_blocks[bi], gathered)
-        if plan.full_support:
-            return grad
-        return grad * plan.support
+        return self._resolve_backend().grad_data(self, x, dy)
 
     def frobenius_error(self, dense: np.ndarray) -> float:
         """Frobenius-norm distance ``||dense - W||_F`` (approximation error)."""

@@ -28,6 +28,9 @@ class BlockPermDiagTensor4D:
         kernels: array of shape ``(mb, nb, p, kh, kw)``.
         ks: per-block permutation parameters, shape ``(mb, nb)``.
         channels: logical ``(c_out, c_in)``; defaults to padded sizes.
+        backend: kernel backend pinned to the channel-plane matrix (and
+            inherited by every per-offset matrix a lowering derives from
+            it); ``None`` follows the process default.
     """
 
     def __init__(
@@ -35,6 +38,7 @@ class BlockPermDiagTensor4D:
         kernels: np.ndarray,
         ks: np.ndarray,
         channels: tuple[int, int] | None = None,
+        backend: str | None = None,
     ) -> None:
         kernels = np.asarray(kernels, dtype=np.float64)
         if kernels.ndim != 5:
@@ -47,7 +51,7 @@ class BlockPermDiagTensor4D:
         if channels is None:
             channels = (mb * p, nb * p)
         self._plane = BlockPermutedDiagonalMatrix(
-            np.ones((mb, nb, p)), ks, shape=channels
+            np.ones((mb, nb, p)), ks, shape=channels, backend=backend
         )
         self.kernel_size = (kh, kw)
         self.kernels = kernels * self._plane.support_mask()[..., None, None]
@@ -64,6 +68,7 @@ class BlockPermDiagTensor4D:
         spec: PermutationSpec | None = None,
         scale: float | None = None,
         rng: np.random.Generator | int | None = None,
+        backend: str | None = None,
     ) -> "BlockPermDiagTensor4D":
         """He-style initialization on the effective fan-in ``c_in/p * kh*kw``."""
         spec = spec or PermutationSpec()
@@ -76,7 +81,7 @@ class BlockPermDiagTensor4D:
         if scale is None:
             scale = float(np.sqrt(2.0 / fan_in))
         kernels = rng.normal(0.0, scale, size=(mb, nb, p, kh, kw))
-        return cls(kernels, ks, channels=(c_out, c_in))
+        return cls(kernels, ks, channels=(c_out, c_in), backend=backend)
 
     @classmethod
     def from_dense(
@@ -85,6 +90,7 @@ class BlockPermDiagTensor4D:
         p: int,
         ks: np.ndarray | None = None,
         spec: PermutationSpec | None = None,
+        backend: str | None = None,
     ) -> "BlockPermDiagTensor4D":
         """Optimal L2 projection of a dense ``(c_out, c_in, kh, kw)`` tensor."""
         dense = np.asarray(dense, dtype=np.float64)
@@ -95,7 +101,12 @@ class BlockPermDiagTensor4D:
         if ks is None:
             spec = spec or PermutationSpec()
             ks = spec.generate(mb * nb, p).reshape(mb, nb)
-        out = cls(np.zeros((mb, nb, p, kh, kw)), np.asarray(ks), channels=(c_out, c_in))
+        out = cls(
+            np.zeros((mb, nb, p, kh, kw)),
+            np.asarray(ks),
+            channels=(c_out, c_in),
+            backend=backend,
+        )
         rows, cols = out._plane._global_indices()
         padded = np.zeros((mb * p, nb * p, kh, kw))
         padded[:c_out, :c_in] = dense
@@ -110,6 +121,22 @@ class BlockPermDiagTensor4D:
     @property
     def p(self) -> int:
         return self._plane.p
+
+    @property
+    def plane(self) -> BlockPermutedDiagonalMatrix:
+        """The block-PD channel-plane matrix carrying all index arithmetic.
+
+        Its values are a placeholder (ones); consumers use it for the
+        cached index plan, the support mask, and as the
+        :meth:`~BlockPermutedDiagonalMatrix.like` base of per-offset
+        matrix families (see :mod:`repro.hw.conv_lowering`).
+        """
+        return self._plane
+
+    @property
+    def backend(self) -> str | None:
+        """Kernel backend pinned to the channel plane (``None`` = default)."""
+        return self._plane.backend
 
     @property
     def ks(self) -> np.ndarray:

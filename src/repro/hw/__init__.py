@@ -16,12 +16,23 @@ rebuilds that simulator in Python:
 """
 
 from repro.hw.config import EngineConfig, PEConfig
-from repro.hw.engine import PermDNNEngine, SimulationResult
+from repro.hw.engine import (
+    PermDNNEngine,
+    SimulationResult,
+    export_engine_image,
+    load_engine_image,
+)
 from repro.hw.energy import AreaPowerModel, EngineBreakdown, PEBreakdown
 from repro.hw.perf import PerformanceReport, equivalent_dense_ops
 from repro.hw.scheduler import ColumnSchedule, classify_case, cycles_per_column
 from repro.hw.technology import project_design
-from repro.hw.workloads import TABLE_VII_WORKLOADS, Workload, make_workload_instance
+from repro.hw.workloads import (
+    TABLE_VII_WORKLOADS,
+    UnknownWorkloadError,
+    Workload,
+    find_workload,
+    make_workload_instance,
+)
 
 __all__ = [
     "AreaPowerModel",
@@ -34,10 +45,14 @@ __all__ = [
     "PermDNNEngine",
     "SimulationResult",
     "TABLE_VII_WORKLOADS",
+    "UnknownWorkloadError",
     "Workload",
     "classify_case",
     "cycles_per_column",
     "equivalent_dense_ops",
+    "export_engine_image",
+    "find_workload",
+    "load_engine_image",
     "make_workload_instance",
     "project_design",
 ]

@@ -50,28 +50,28 @@ class ConvSimulationResult:
 
 def _offset_matrices(
     tensor: BlockPermDiagTensor4D,
+    backend: str | None = None,
 ) -> list[BlockPermutedDiagonalMatrix]:
     """One block-PD channel matrix per kernel offset ``(dy, dx)``.
 
-    All ``kh*kw`` matrices share one structure ``(ks, channels, p)``, so the
-    index plan is computed once and shared across the whole family via
-    :meth:`BlockPermutedDiagonalMatrix.like`.
+    All ``kh*kw`` matrices share one structure ``(ks, channels, p)`` with
+    the tensor's own channel plane, so the whole family rides the plane's
+    already-built index plan via
+    :meth:`BlockPermutedDiagonalMatrix.like` -- no per-lowering index
+    arithmetic at all.  ``backend`` overrides the tensor's pinned kernel
+    backend for the lowered mat-vecs.
     """
     kh, kw = tensor.kernel_size
-    base: BlockPermutedDiagonalMatrix | None = None
     matrices = []
     for dy in range(kh):
         for dx in range(kw):
             # Contiguous copy: the strided kernel slice would otherwise be
             # re-raveled on every mat-vec of the simulation hot loop.
             data = np.ascontiguousarray(tensor.kernels[:, :, :, dy, dx])
-            if base is None:
-                base = BlockPermutedDiagonalMatrix(
-                    data, tensor.ks, shape=tensor.channels
-                )
-                matrices.append(base)
-            else:
-                matrices.append(base.like(data))
+            matrix = tensor.plane.like(data)
+            if backend is not None:
+                matrix.set_backend(backend)
+            matrices.append(matrix)
     return matrices
 
 
@@ -82,6 +82,7 @@ def run_conv_layer(
     stride: int = 1,
     padding: int = 0,
     enforce_capacity: bool = True,
+    backend: str | None = None,
 ) -> ConvSimulationResult:
     """Lower a PD convolution onto the FC engine and execute it.
 
@@ -92,6 +93,8 @@ def run_conv_layer(
         stride: spatial stride.
         padding: symmetric zero padding.
         enforce_capacity: per-PE SRAM capacity check (see engine docs).
+        backend: kernel backend for the lowered mat-vecs (defaults to the
+            tensor's pinned backend, else the process default).
 
     Returns:
         :class:`ConvSimulationResult` whose ``output`` equals the direct
@@ -109,7 +112,7 @@ def run_conv_layer(
     if oh <= 0 or ow <= 0:
         raise ValueError("non-positive conv output size")
 
-    matrices = _offset_matrices(tensor)
+    matrices = _offset_matrices(tensor, backend=backend)
     output = np.zeros((c_out, oh, ow))
     cycles = macs = nonzero = skipped = 0
     for oy in range(oh):

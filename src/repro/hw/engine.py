@@ -39,7 +39,95 @@ from repro.nn.quantization import (
     quantize_fixed_point,
 )
 
-__all__ = ["PermDNNEngine", "SimulationResult"]
+__all__ = [
+    "PermDNNEngine",
+    "SimulationResult",
+    "export_engine_image",
+    "load_engine_image",
+]
+
+_IMAGE_FORMAT_VERSION = 1
+
+
+def export_engine_image(
+    path,
+    layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]],
+) -> None:
+    """Persist a network image the engine can boot without index arithmetic.
+
+    For every layer the image stores the packed ``q`` vector, the structure
+    ``(ks, shape, p)``, the ActU mode, and the **serialized index plan**
+    (:meth:`~repro.core.BlockPermutedDiagonalMatrix.plan_bytes`, warmed so
+    transpose/CSR skeletons are included).  :func:`load_engine_image` then
+    rebuilds the matrices via
+    :meth:`~repro.core.BlockPermutedDiagonalMatrix.from_plan` -- the
+    deployment path pays deserialization only, never the modulo index
+    recomputation, which is what makes cold-starting a many-layer engine
+    cheap.
+
+    Args:
+        path: target ``.npz`` file (or open binary file object).
+        layers: ``(matrix, activation)`` pairs as accepted by
+            :meth:`PermDNNEngine.run_network`.
+    """
+    payload: dict[str, np.ndarray] = {
+        "image_version": np.int64(_IMAGE_FORMAT_VERSION),
+        "num_layers": np.int64(len(layers)),
+    }
+    for idx, (matrix, activation) in enumerate(layers):
+        payload[f"layer{idx}_q"] = matrix.to_q()
+        payload[f"layer{idx}_ks"] = np.asarray(matrix.ks)
+        payload[f"layer{idx}_p"] = np.int64(matrix.p)
+        payload[f"layer{idx}_shape"] = np.asarray(matrix.shape, dtype=np.int64)
+        payload[f"layer{idx}_activation"] = np.str_(activation or "")
+        payload[f"layer{idx}_plan"] = np.frombuffer(
+            matrix.plan_bytes(), dtype=np.uint8
+        )
+    np.savez_compressed(path, **payload)
+
+
+def load_engine_image(
+    path,
+) -> list[tuple[BlockPermutedDiagonalMatrix, str | None]]:
+    """Reload an :func:`export_engine_image` artifact, plans included.
+
+    Returns:
+        ``(matrix, activation)`` pairs ready for
+        :meth:`PermDNNEngine.run_network`; every matrix carries its
+        deserialized index plan, so no index arithmetic is recomputed.
+    """
+    layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]] = []
+    with np.load(path) as archive:
+        version = int(archive["image_version"])
+        if version != _IMAGE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported engine-image version {version} "
+                f"(expected {_IMAGE_FORMAT_VERSION})"
+            )
+        for idx in range(int(archive["num_layers"])):
+            ks = archive[f"layer{idx}_ks"]
+            p = int(archive[f"layer{idx}_p"])
+            mb, nb = ks.shape
+            matrix = BlockPermutedDiagonalMatrix.from_plan(
+                archive[f"layer{idx}_plan"].tobytes(),
+                archive[f"layer{idx}_q"].reshape(mb, nb, p),
+            )
+            # Cross-check the plan against the image's own metadata so a
+            # corrupted or hand-edited archive fails loudly here.
+            shape = tuple(int(v) for v in archive[f"layer{idx}_shape"])
+            if (
+                matrix.shape != shape
+                or matrix.p != p
+                or not np.array_equal(matrix.ks, ks)
+            ):
+                raise ValueError(
+                    f"layer {idx}: image metadata (shape={shape}, p={p}) "
+                    f"does not match its serialized plan "
+                    f"(shape={matrix.shape}, p={matrix.p})"
+                )
+            activation = str(archive[f"layer{idx}_activation"]) or None
+            layers.append((matrix, activation))
+    return layers
 
 
 @dataclass

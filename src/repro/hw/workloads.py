@@ -24,7 +24,21 @@ import numpy as np
 
 from repro.core import BlockPermutedDiagonalMatrix
 
-__all__ = ["TABLE_VII_WORKLOADS", "Workload", "make_workload_instance"]
+__all__ = [
+    "TABLE_VII_WORKLOADS",
+    "UnknownWorkloadError",
+    "Workload",
+    "find_workload",
+    "make_workload_instance",
+]
+
+
+class UnknownWorkloadError(LookupError):
+    """A workload name that matches no Table VII layer.
+
+    Library code raises this (never ``SystemExit``); the CLI's ``main``
+    converts it into a clean exit for terminal users.
+    """
 
 
 @dataclass(frozen=True)
@@ -70,6 +84,22 @@ TABLE_VII_WORKLOADS: tuple[Workload, ...] = (
     Workload("NMT-2", 2048, 1536, 8, 1.0, "RNN language translation"),
     Workload("NMT-3", 2048, 2048, 8, 1.0, "RNN language translation"),
 )
+
+
+def find_workload(name: str) -> Workload:
+    """Look up a Table VII workload by (case-insensitive) name.
+
+    Raises:
+        UnknownWorkloadError: no workload matches; the message lists the
+            valid names.
+    """
+    for workload in TABLE_VII_WORKLOADS:
+        if workload.name.lower() == name.lower():
+            return workload
+    names = ", ".join(w.name for w in TABLE_VII_WORKLOADS)
+    raise UnknownWorkloadError(
+        f"unknown workload {name!r}; choose from: {names}"
+    )
 
 
 def make_workload_instance(

@@ -33,6 +33,9 @@ class PermDiagLinear(Module):
         spec: how to pick ``k_l`` (natural indexing by default, as in all the
             paper's reported tables).
         rng: generator or seed for initialization.
+        backend: pin the weight matrix to a named kernel backend
+            (``"gather"``/``"csr"``/``"numba"``); ``None`` follows the
+            process default (see :mod:`repro.core.backends`).
     """
 
     def __init__(
@@ -43,13 +46,14 @@ class PermDiagLinear(Module):
         bias: bool = True,
         spec: PermutationSpec | None = None,
         rng: np.random.Generator | int | None = None,
+        backend: str | None = None,
     ) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
         self.p = p
         matrix = BlockPermutedDiagonalMatrix.random(
-            (out_features, in_features), p, spec=spec, rng=rng
+            (out_features, in_features), p, spec=spec, rng=rng, backend=backend
         )
         self._matrix = matrix
         # Aliasing contract: Parameter and matrix share one buffer, so
@@ -84,10 +88,10 @@ class PermDiagLinear(Module):
         approximation of a pre-trained dense layer, Sec. III-F).
 
         The layer adopts ``matrix`` as-is -- its ``ks``, logical shape
-        (including shapes not divisible by ``p``) and cached index plan are
-        taken over directly, and the trainable parameter aliases the
-        matrix's storage.  No structure fields are mutated behind the
-        matrix's validation.
+        (including shapes not divisible by ``p``), cached index plan and
+        any pinned kernel backend are taken over directly, and the
+        trainable parameter aliases the matrix's storage.  No structure
+        fields are mutated behind the matrix's validation.
         """
         m, n = matrix.shape
         layer = cls.__new__(cls)

@@ -1,27 +1,77 @@
-"""Whole-model checkpointing to ``.npz``."""
+"""Whole-model checkpointing to ``.npz``.
+
+Checkpoints hold the flat parameter state dict; with ``include_plans=True``
+they additionally embed the serialized index plan of every PD layer
+(:meth:`~repro.core.BlockPermutedDiagonalMatrix.plan_bytes`), so
+:func:`load_model` reattaches the cached index arithmetic instead of
+recomputing it layer by layer on the first product call.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core import BlockPermDiagTensor4D, BlockPermutedDiagonalMatrix
 from repro.nn.module import Module
 
 __all__ = ["load_model", "save_model"]
 
+# Checkpoint keys carrying serialized index plans (one per PD matrix, in
+# module-discovery order); everything else is parameter state.
+_PLAN_KEY_PREFIX = "pd_plan_"
 
-def save_model(path: str, model: Module) -> None:
+
+def _pd_matrices(model: Module) -> list[BlockPermutedDiagonalMatrix]:
+    """Structured matrices of the model's PD layers, in discovery order.
+
+    Covers both FC layers (their `_matrix`) and PD convolutions (the
+    channel-plane matrix of their `_tensor`).  Discovery order is
+    deterministic for a fixed architecture, which is what lets plan keys
+    pair back up with their layers at load time (the same state-dict
+    discipline the parameters follow).
+    """
+    matrices = []
+    for module in model.modules():
+        matrix = getattr(module, "_matrix", None)
+        if isinstance(matrix, BlockPermutedDiagonalMatrix):
+            matrices.append(matrix)
+        tensor = getattr(module, "_tensor", None)
+        if isinstance(tensor, BlockPermDiagTensor4D):
+            matrices.append(tensor.plane)
+    return matrices
+
+
+def save_model(path: str, model: Module, include_plans: bool = False) -> None:
     """Write a model's parameters to an ``.npz`` checkpoint.
 
     Layer structure is not serialized -- loading requires rebuilding the
     same architecture first (the usual state-dict discipline).  PD layers
     save their packed value arrays, so checkpoints of compressed models
     are proportionally small.
+
+    Args:
+        path: target checkpoint path.
+        model: the model to snapshot.
+        include_plans: also embed each PD layer's warmed index plan, so
+            :func:`load_model` restores it without index recomputation
+            (bigger file, faster first step after load).
     """
-    np.savez_compressed(path, **model.state_dict())
+    state = model.state_dict()
+    if include_plans:
+        for idx, matrix in enumerate(_pd_matrices(model)):
+            state[f"{_PLAN_KEY_PREFIX}{idx}"] = np.frombuffer(
+                matrix.plan_bytes(), dtype=np.uint8
+            )
+    np.savez_compressed(path, **state)
 
 
 def load_model(path: str, model: Module) -> Module:
     """Load an ``.npz`` checkpoint into an already-constructed model.
+
+    Embedded index plans (see :func:`save_model`) are reattached to the
+    matching PD layers via
+    :meth:`~repro.core.BlockPermutedDiagonalMatrix.adopt_plan`, which
+    validates the structure and raises ``ValueError`` on mismatch.
 
     Args:
         path: checkpoint produced by :func:`save_model`.
@@ -31,5 +81,20 @@ def load_model(path: str, model: Module) -> Module:
         The same model instance, for chaining.
     """
     with np.load(path) as archive:
-        model.load_state_dict({key: archive[key] for key in archive.files})
+        params = {
+            key: archive[key]
+            for key in archive.files
+            if not key.startswith(_PLAN_KEY_PREFIX)
+        }
+        plans = {
+            key: archive[key].tobytes()
+            for key in archive.files
+            if key.startswith(_PLAN_KEY_PREFIX)
+        }
+    model.load_state_dict(params)
+    if plans:
+        for idx, matrix in enumerate(_pd_matrices(model)):
+            blob = plans.get(f"{_PLAN_KEY_PREFIX}{idx}")
+            if blob is not None:
+                matrix.adopt_plan(blob)
     return model

@@ -1,0 +1,84 @@
+"""Engine images: persisted plans reload without index recomputation."""
+
+import numpy as np
+import pytest
+
+import repro.core.block_perm_diag as mod
+from repro.core import BlockPermutedDiagonalMatrix
+from repro.hw import PermDNNEngine, export_engine_image, load_engine_image
+
+
+def _layers(rng):
+    m1 = BlockPermutedDiagonalMatrix.random((64, 48), 4, rng=rng)
+    m2 = BlockPermutedDiagonalMatrix.random((30, 64), 8, rng=rng)  # padded m
+    return [(m1, "relu"), (m2, None)]
+
+
+class TestEngineImage:
+    def test_round_trip_matches_original_network(self, tmp_path):
+        rng = np.random.default_rng(0)
+        layers = _layers(rng)
+        x = rng.normal(size=48)
+        engine = PermDNNEngine()
+        reference, _ = engine.run_network(layers, x)
+
+        path = str(tmp_path / "image.npz")
+        export_engine_image(path, layers)
+        loaded = load_engine_image(path)
+        assert len(loaded) == 2
+        assert [activation for _, activation in loaded] == ["relu", None]
+        output, results = engine.run_network(loaded, x)
+        np.testing.assert_allclose(output, reference, atol=1e-12)
+        assert len(results) == 2
+
+    def test_loaded_image_never_rebuilds_plans(self, tmp_path, monkeypatch):
+        """The acceptance property: a serialized plan reloads and executes
+        in the engine without any index arithmetic being recomputed."""
+        rng = np.random.default_rng(1)
+        layers = _layers(rng)
+        x = rng.normal(size=48)
+        path = str(tmp_path / "image.npz")
+        export_engine_image(path, layers)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("engine image load rebuilt an index plan")
+
+        monkeypatch.setattr(mod._IndexPlan, "__init__", boom)
+        loaded = load_engine_image(path)
+        engine = PermDNNEngine()
+        output, _ = engine.run_network(loaded, x)
+        # bit-accurate mode exercises like(), which must also reuse the plan
+        engine.run_fc_layer(loaded[0][0], x, bit_accurate=True)
+        assert output.shape == (30,)
+
+    def test_loaded_matrices_preserve_structure(self, tmp_path):
+        rng = np.random.default_rng(2)
+        layers = _layers(rng)
+        path = str(tmp_path / "image.npz")
+        export_engine_image(path, layers)
+        for (orig, _), (loaded, _) in zip(layers, load_engine_image(path)):
+            assert loaded.shape == orig.shape and loaded.p == orig.p
+            np.testing.assert_array_equal(loaded.ks, orig.ks)
+            np.testing.assert_allclose(loaded.to_dense(), orig.to_dense())
+
+    def test_metadata_plan_mismatch_rejected(self, tmp_path):
+        rng = np.random.default_rng(4)
+        path = str(tmp_path / "image.npz")
+        export_engine_image(path, _layers(rng))
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["layer0_shape"] = np.asarray([63, 48], dtype=np.int64)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="does not match"):
+            load_engine_image(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        rng = np.random.default_rng(3)
+        path = str(tmp_path / "image.npz")
+        export_engine_image(path, _layers(rng))
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["image_version"] = np.int64(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_engine_image(path)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.hw import UnknownWorkloadError, find_workload
 
 
 class TestParser:
@@ -30,6 +31,25 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["simulate", "--workload", "bogus"])
 
+    def test_simulate_unknown_backend_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "NMT-1", "--backend", "bogus"])
+
+    def test_simulate_with_pinned_backend(self, capsys):
+        assert main(
+            ["simulate", "--workload", "NMT-1", "--backend", "gather"]
+        ) == 0
+        assert "NMT-1" in capsys.readouterr().out
+
+    def test_simulate_backend_does_not_leak_process_default(self):
+        from repro.core import default_backend
+
+        before = default_backend()
+        assert main(
+            ["simulate", "--workload", "NMT-1", "--backend", "gather"]
+        ) == 0
+        assert default_backend() == before
+
     def test_compare_runs(self, capsys):
         assert main(["compare", "--workload", "Alex-FC8"]) == 0
         out = capsys.readouterr().out
@@ -49,3 +69,19 @@ class TestCommands:
         assert main(["memory", "--sram-mb", "8"]) == 0
         out = capsys.readouterr().out
         assert "uJ/inference" in out
+
+
+class TestWorkloadLookup:
+    """The lookup is library code: typed errors, never SystemExit."""
+
+    def test_find_workload_case_insensitive(self):
+        assert find_workload("alex-fc6").name == "Alex-FC6"
+
+    def test_find_workload_raises_typed_error(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            find_workload("bogus")
+        assert not isinstance(excinfo.value, SystemExit)
+        assert "Alex-FC6" in str(excinfo.value)  # message lists valid names
+
+    def test_unknown_workload_is_lookup_error(self):
+        assert issubclass(UnknownWorkloadError, LookupError)
