@@ -1,0 +1,123 @@
+"""Sharded serving throughput vs the single-engine batch baseline.
+
+Runs the AlexNet-FC serving workload (FC6 -> FC7 -> FC8 at Table II block
+sizes, inputs at Alex-FC6's Table VII activation density) through
+``repro.serve.ModelServer`` at several shard counts and compares simulated
+requests/sec and latency against the natural single-engine loop
+(``PermDNNEngine.run_fc_batch`` layer by layer).  Outputs must match the
+baseline **bit for bit** at every shard count.
+
+The tracked acceptance point is the 4-shard row: ``speedup >= 2.0`` on the
+full-scale stack (the script exits non-zero below that bar, or on any
+output mismatch).
+
+Usage::
+
+    python benchmarks/bench_serving.py            # full scale, shards 1/2/4/8
+    python benchmarks/bench_serving.py --smoke    # CI canary (scale 1/8)
+    python benchmarks/bench_serving.py --shards 4 --requests 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from _common import emit, format_table
+from repro.serve import run_serving_sweep
+
+FULL_SHARDS = (1, 2, 4, 8)
+SMOKE_SHARDS = (1, 4)
+
+# The acceptance criterion is pinned to this shard count.
+ACCEPTANCE_SHARDS = 4
+ACCEPTANCE_SPEEDUP = 2.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scale + few requests for CI")
+    parser.add_argument("--shards", type=int, action="append", default=None,
+                        help="shard count to measure (repeatable)")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--scale", type=int, default=None,
+                        help="divide the AlexNet-FC widths by this factor")
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--deadline-us", type=float, default=50.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scale = args.scale if args.scale is not None else (8 if args.smoke else 1)
+    requests = (
+        args.requests if args.requests is not None else (8 if args.smoke else 32)
+    )
+    shard_counts = tuple(args.shards) if args.shards else (
+        SMOKE_SHARDS if args.smoke else FULL_SHARDS
+    )
+    # Throughput is measured under an all-at-once burst; cap the batch
+    # limit at the request count so partial batches don't sit out the
+    # deadline flush (which would measure the deadline, not the engines).
+    max_batch = min(args.max_batch, requests)
+
+    start = time.perf_counter()
+    # One sweep call: the workload and the single-engine baseline are
+    # built once and shared across every shard count.
+    reports = run_serving_sweep(
+        shard_counts,
+        num_requests=requests,
+        max_batch_size=max_batch,
+        flush_deadline_us=args.deadline_us,
+        scale=scale,
+        seed=args.seed,
+    )
+    wall = time.perf_counter() - start
+
+    rows = []
+    failures = []
+    for report in reports:
+        rows.append((
+            report.num_shards,
+            f"{report.sharded_rps:,.0f}",
+            f"{report.speedup:.2f}x",
+            f"{report.p50_latency_us:.1f}",
+            f"{report.p99_latency_us:.1f}",
+            "yes" if report.outputs_match else "NO",
+        ))
+        if not report.outputs_match:
+            failures.append(
+                f"{report.num_shards}-shard outputs diverge from baseline"
+            )
+        if (
+            report.num_shards == ACCEPTANCE_SHARDS
+            and report.speedup < ACCEPTANCE_SPEEDUP
+        ):
+            failures.append(
+                f"{report.num_shards}-shard speedup {report.speedup:.2f}x "
+                f"below the {ACCEPTANCE_SPEEDUP:.1f}x acceptance bar"
+            )
+
+    header = (
+        f"AlexNet-FC serving, scale 1/{scale}, {requests} requests, "
+        f"max batch {reports[0].max_batch_size}, "
+        f"deadline {args.deadline_us:.0f} us\n"
+        f"baseline (1 engine, run_fc_batch): "
+        f"{reports[0].baseline_rps:,.0f} req/s\n\n"
+    )
+    table = format_table(
+        ["shards", "req/s", "speedup", "p50_us", "p99_us", "bit-exact"],
+        rows,
+    )
+    table += f"\n\n(sweep wall time {wall:.1f}s)"
+    # Smoke runs get their own artifact so a CI canary never clobbers the
+    # committed full-scale reference table.
+    emit("bench_serving_smoke" if args.smoke else "bench_serving",
+         header + table)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

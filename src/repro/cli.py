@@ -2,11 +2,12 @@
 
 Usage (module form):
 
-    python -m repro.cli simulate  --workload Alex-FC6 [--pes 32] [--backend csr]
-    python -m repro.cli compare   --workload Alex-FC7
-    python -m repro.cli storage   --model alexnet|resnet20|wrn48
-    python -m repro.cli scale     --workload NMT-1
-    python -m repro.cli memory    --sram-mb 16
+    python -m repro.cli simulate    --workload Alex-FC6 [--pes 32] [--backend csr]
+    python -m repro.cli compare     --workload Alex-FC7
+    python -m repro.cli storage     --model alexnet|resnet20|wrn48
+    python -m repro.cli scale       --workload NMT-1
+    python -m repro.cli memory      --sram-mb 16
+    python -m repro.cli serve-bench --shards 4 [--requests 32] [--scale 1]
 
 The kernel backend used for the numerical products can also be selected
 process-wide with the ``REPRO_BACKEND`` environment variable
@@ -137,6 +138,23 @@ def _cmd_memory(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.serve import format_report, run_serving_benchmark
+
+    report = run_serving_benchmark(
+        num_shards=args.shards,
+        num_requests=args.requests,
+        max_batch_size=args.max_batch,
+        flush_deadline_us=args.deadline_us,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(format_report(report))
+    # A sharded/unsharded mismatch is a correctness failure, not a perf
+    # number -- make it visible to scripts.
+    return 0 if report.outputs_match else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PermDNN reproduction experiments"
@@ -172,6 +190,19 @@ def build_parser() -> argparse.ArgumentParser:
     mem = sub.add_parser("memory", help="DRAM-vs-SRAM weight-fetch energy")
     mem.add_argument("--sram-mb", type=float, default=16.0)
     mem.set_defaults(func=_cmd_memory)
+
+    srv = sub.add_parser(
+        "serve-bench",
+        help="sharded multi-engine serving throughput vs one engine",
+    )
+    srv.add_argument("--shards", type=int, default=4)
+    srv.add_argument("--requests", type=int, default=32)
+    srv.add_argument("--max-batch", type=int, default=16)
+    srv.add_argument("--deadline-us", type=float, default=50.0)
+    srv.add_argument("--scale", type=int, default=1,
+                     help="divide the AlexNet-FC widths by this factor")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

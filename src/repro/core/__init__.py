@@ -39,7 +39,7 @@ from repro.core.permutation import (
     random_permutation,
 )
 from repro.core.perm_diag import PermutedDiagonalMatrix
-from repro.core.block_perm_diag import BlockPermutedDiagonalMatrix
+from repro.core.block_perm_diag import BlockPermutedDiagonalMatrix, row_shard_bounds
 from repro.core.conv_tensor import BlockPermDiagTensor4D
 from repro.core.approximation import (
     approximate_pd,
@@ -77,6 +77,7 @@ __all__ = [
     "nonzero_row",
     "pd_storage_bits",
     "random_permutation",
+    "row_shard_bounds",
     "save_bpd",
     "set_default_backend",
     "unstructured_sparse_storage_bits",

@@ -81,7 +81,7 @@ except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
 from repro.core import backends as _backends
 from repro.core.permutation import PermutationSpec
 
-__all__ = ["BlockPermutedDiagonalMatrix"]
+__all__ = ["BlockPermutedDiagonalMatrix", "row_shard_bounds"]
 
 # Hard cap on gathered elements per slab in the gather backend; together
 # with the (much smaller) cache-blocking target in
@@ -95,6 +95,32 @@ _PLAN_FORMAT_VERSION = 1
 # Lazily-built plan members, as (serialization key, attribute) pairs; each
 # is a tuple of arrays when built, None otherwise.
 _PLAN_LAZY_FIELDS = (("t", "_t_arrays"), ("sc", "_support_coords"))
+
+
+def row_shard_bounds(num_block_rows: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced partition of ``num_block_rows`` into shards.
+
+    Returns ``(start_block, stop_block)`` per shard; the first
+    ``num_block_rows % num_shards`` shards carry one extra block row.  Row
+    sharding happens at block-row granularity so every shard stays a valid
+    block-PD matrix (used by :meth:`BlockPermutedDiagonalMatrix.row_shards`
+    and the serving runtime in :mod:`repro.serve`).
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if num_shards > num_block_rows:
+        raise ValueError(
+            f"cannot cut {num_block_rows} block row(s) into {num_shards} "
+            f"shards (each shard needs at least one block row)"
+        )
+    base, extra = divmod(num_block_rows, num_shards)
+    bounds = []
+    start = 0
+    for idx in range(num_shards):
+        stop = start + base + (1 if idx < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
 
 
 class _IndexPlan:
@@ -226,6 +252,61 @@ class _IndexPlan:
                 arr.setflags(write=False)
             self._csr_structs[key] = (indptr, indices, perm)
         return self._csr_structs[key]
+
+    # ------------------------------------------------------------------
+    # Row sharding
+    # ------------------------------------------------------------------
+
+    def row_block_slice(self, start: int, stop: int) -> "_IndexPlan":
+        """Derived plan covering block rows ``[start, stop)`` only.
+
+        Everything is obtained by **slicing (and re-basing) this plan's
+        cached arrays** -- no modulo index arithmetic runs, which is what
+        lets the serving runtime shard a layer across engines without
+        paying the structure computation per shard.  ``cols`` and
+        ``support`` are shared views; ``rows`` and the transposed pair
+        (when already built here) are re-based copies.  Members this plan
+        has not built stay lazy on the shard too.
+        """
+        if not (0 <= start < stop <= self.mb):
+            raise ValueError(
+                f"invalid block-row slice [{start}, {stop}) for {self.mb} "
+                f"block rows"
+            )
+        p = self.p
+        shard = _IndexPlan.__new__(_IndexPlan)
+        shard.p = p
+        shard.mb = stop - start
+        shard.nb = self.nb
+        # The last shard of a row-padded matrix keeps the padding.
+        shard.shape = (min(shard.mb * p, self.shape[0] - start * p), self.shape[1])
+        shard.ks = self.ks[start:stop]
+        shard.aligned_m = shard.shape[0] == shard.mb * p
+        shard.aligned_n = self.aligned_n
+        shard.full_support = shard.aligned_m and shard.aligned_n
+        rows = np.ascontiguousarray(self.rows[start:stop] - start * p)
+        rows.setflags(write=False)
+        shard.rows = rows
+        shard.cols = self.cols[start:stop]
+        shard.support = self.support[start:stop]
+        shard.flat_cols = shard.cols.reshape(-1)
+        shard.nnz = int(shard.support.sum())
+        if self._t_arrays is not None:
+            t_src, t_cols = self._t_arrays
+            # Re-base: shard slot (bj, bi', d) reads data[start + bi'] of
+            # the parent, i.e. parent flat index minus the sliced-off rows.
+            t_src_s = np.ascontiguousarray(
+                t_src[:, start:stop] - start * self.nb * p
+            )
+            t_cols_s = np.ascontiguousarray(t_cols[:, start:stop] - start * p)
+            t_src_s.setflags(write=False)
+            t_cols_s.setflags(write=False)
+            shard._t_arrays = (t_src_s, t_cols_s)
+        else:
+            shard._t_arrays = None
+        shard._support_coords = None
+        shard._csr_structs = {}
+        return shard
 
     # ------------------------------------------------------------------
     # Serialization
@@ -530,6 +611,44 @@ class BlockPermutedDiagonalMatrix:
         out._backend = self._backend
         out.data = data
         return out
+
+    def row_shard(
+        self, start_block: int, stop_block: int
+    ) -> "BlockPermutedDiagonalMatrix":
+        """Shard covering block rows ``[start_block, stop_block)``.
+
+        The shard **aliases** this matrix's value storage (its ``data`` is
+        a view of the corresponding block-row slice, so in-place weight
+        updates stay visible) and its index plan is derived from this
+        matrix's cached plan by pure slicing
+        (:meth:`_IndexPlan.row_block_slice`) -- no index arithmetic is
+        recomputed per shard.  Row shards partition the output dimension:
+        stacking every shard's product output reproduces the full product
+        bit for bit, which is the contract the sharded serving runtime
+        (:mod:`repro.serve`) is built on.
+        """
+        plan = self._get_plan().row_block_slice(start_block, stop_block)
+        out = self.__class__.__new__(self.__class__)
+        out.p = self.p
+        out._ks = plan.ks
+        out._shape = plan.shape
+        out._plan = plan
+        out._csr_cache = {}
+        out._backend = self._backend
+        out.data = self._data[start_block:stop_block]
+        return out
+
+    def row_shards(self, num_shards: int) -> list["BlockPermutedDiagonalMatrix"]:
+        """Partition into ``num_shards`` contiguous row shards.
+
+        Block rows are split as evenly as possible
+        (:func:`row_shard_bounds`); see :meth:`row_shard` for the aliasing
+        and plan-sharing guarantees.
+        """
+        return [
+            self.row_shard(start, stop)
+            for start, stop in row_shard_bounds(self.mb, num_shards)
+        ]
 
     def _get_plan(self) -> _IndexPlan:
         plan = self._plan

@@ -17,6 +17,7 @@ rebuilds that simulator in Python:
 
 from repro.hw.config import EngineConfig, PEConfig
 from repro.hw.engine import (
+    EngineImageBackendError,
     PermDNNEngine,
     SimulationResult,
     export_engine_image,
@@ -39,6 +40,7 @@ __all__ = [
     "ColumnSchedule",
     "EngineBreakdown",
     "EngineConfig",
+    "EngineImageBackendError",
     "PEBreakdown",
     "PEConfig",
     "PerformanceReport",

@@ -22,11 +22,18 @@ the numpy golden model (:mod:`repro.hw.verify`).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core import BlockPermutedDiagonalMatrix
+from repro.core.backends import (
+    BackendUnavailableError,
+    UnknownBackendError,
+    get_backend,
+    validate_backend_name,
+)
 from repro.hw.config import EngineConfig
 from repro.hw.energy import AreaPowerModel
 from repro.hw.fifo import FIFO
@@ -40,6 +47,7 @@ from repro.nn.quantization import (
 )
 
 __all__ = [
+    "EngineImageBackendError",
     "PermDNNEngine",
     "SimulationResult",
     "export_engine_image",
@@ -47,6 +55,17 @@ __all__ = [
 ]
 
 _IMAGE_FORMAT_VERSION = 1
+
+
+class EngineImageBackendError(BackendUnavailableError):
+    """An engine image pins a kernel backend this process cannot provide.
+
+    Raised by :func:`load_engine_image` when a layer's stored backend name
+    is unknown to (or unavailable in) the current process -- a typed error
+    instead of the ``KeyError``/``ImportError`` a raw lookup would produce.
+    Pass ``missing_backend="fallback"`` to load anyway on the default
+    backend (with a warning).
+    """
 
 
 def export_engine_image(
@@ -80,6 +99,7 @@ def export_engine_image(
         payload[f"layer{idx}_p"] = np.int64(matrix.p)
         payload[f"layer{idx}_shape"] = np.asarray(matrix.shape, dtype=np.int64)
         payload[f"layer{idx}_activation"] = np.str_(activation or "")
+        payload[f"layer{idx}_backend"] = np.str_(matrix.backend or "")
         payload[f"layer{idx}_plan"] = np.frombuffer(
             matrix.plan_bytes(), dtype=np.uint8
         )
@@ -88,14 +108,30 @@ def export_engine_image(
 
 def load_engine_image(
     path,
+    missing_backend: str = "error",
 ) -> list[tuple[BlockPermutedDiagonalMatrix, str | None]]:
     """Reload an :func:`export_engine_image` artifact, plans included.
+
+    Layers exported from a matrix pinned to a kernel backend record that
+    backend's name; loading re-pins it.  When the stored backend is not
+    available in this process (e.g. an image built where numba was
+    installed, loaded where it is not) the behaviour follows
+    ``missing_backend``:
+
+    - ``"error"`` (default): raise :class:`EngineImageBackendError`;
+    - ``"fallback"``: warn and leave the layer on the process default
+      backend.
 
     Returns:
         ``(matrix, activation)`` pairs ready for
         :meth:`PermDNNEngine.run_network`; every matrix carries its
         deserialized index plan, so no index arithmetic is recomputed.
     """
+    if missing_backend not in ("error", "fallback"):
+        raise ValueError(
+            f"missing_backend must be 'error' or 'fallback', "
+            f"got {missing_backend!r}"
+        )
     layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]] = []
     with np.load(path) as archive:
         version = int(archive["image_version"])
@@ -125,6 +161,31 @@ def load_engine_image(
                     f"does not match its serialized plan "
                     f"(shape={matrix.shape}, p={matrix.p})"
                 )
+            backend_key = f"layer{idx}_backend"
+            stored = (
+                str(archive[backend_key]) if backend_key in archive.files else ""
+            )
+            if stored:
+                try:
+                    get_backend(validate_backend_name(stored))
+                except (UnknownBackendError, BackendUnavailableError) as exc:
+                    if missing_backend == "fallback":
+                        warnings.warn(
+                            f"layer {idx}: stored kernel backend {stored!r} "
+                            f"is unavailable in this process; falling back "
+                            f"to the default backend ({exc})",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                    else:
+                        raise EngineImageBackendError(
+                            f"layer {idx} of engine image pins kernel "
+                            f"backend {stored!r}, which is unavailable here; "
+                            f"pass missing_backend='fallback' to load on "
+                            f"the default backend instead"
+                        ) from exc
+                else:
+                    matrix.set_backend(stored)
             activation = str(archive[f"layer{idx}_activation"]) or None
             layers.append((matrix, activation))
     return layers
@@ -336,6 +397,7 @@ class PermDNNEngine:
         x_batch: np.ndarray,
         activation: str | None = None,
         zero_skip: bool = True,
+        enforce_capacity: bool = True,
     ) -> tuple[np.ndarray, int]:
         """Execute one FC layer over a batch of inputs.
 
@@ -348,9 +410,38 @@ class PermDNNEngine:
             x_batch: inputs of shape ``(B, n)``.
             activation: optional ActU mode applied to every output.
             zero_skip: process only non-zero input entries.
+            enforce_capacity: reject layers overflowing the per-PE SRAM.
 
         Returns:
             ``(outputs, total_cycles)`` with outputs of shape ``(B, m)``.
+        """
+        outputs, cycles, _ = self.run_fc_batch_detailed(
+            matrix,
+            x_batch,
+            activation=activation,
+            zero_skip=zero_skip,
+            enforce_capacity=enforce_capacity,
+        )
+        return outputs, cycles
+
+    def run_fc_batch_detailed(
+        self,
+        matrix: BlockPermutedDiagonalMatrix,
+        x_batch: np.ndarray,
+        activation: str | None = None,
+        zero_skip: bool = True,
+        enforce_capacity: bool = True,
+    ) -> tuple[np.ndarray, int, int]:
+        """:meth:`run_fc_batch` plus the MAC count.
+
+        This is the single home of the batch accounting (pipeline fill
+        paid once, per-sample compute + writeback): the sharded serving
+        runtime (:mod:`repro.serve`) runs its shards through here, which
+        is what keeps sharded cycle/bit behaviour in lockstep with the
+        unsharded baseline by construction.
+
+        Returns:
+            ``(outputs, total_cycles, macs)``.
         """
         x_batch = np.asarray(x_batch, dtype=np.float64)
         if x_batch.ndim != 2 or x_batch.shape[1] != matrix.shape[1]:
@@ -360,13 +451,19 @@ class PermDNNEngine:
             )
         outputs = np.empty((x_batch.shape[0], matrix.shape[0]))
         total = self.config.pipeline_stages
+        macs = 0
         for row, x in enumerate(x_batch):
             result = self.run_fc_layer(
-                matrix, x, activation=activation, zero_skip=zero_skip
+                matrix,
+                x,
+                activation=activation,
+                zero_skip=zero_skip,
+                enforce_capacity=enforce_capacity,
             )
             outputs[row] = result.output
             total += result.compute_cycles + result.writeback_cycles
-        return outputs, total
+            macs += result.macs
+        return outputs, total, macs
 
     def run_network(
         self,

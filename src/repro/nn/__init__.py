@@ -27,7 +27,7 @@ from repro.nn.layers.recurrent import LSTM, LSTMCell
 from repro.nn.losses import CrossEntropyLoss, MSELoss
 from repro.nn.optim import SGD, Adam
 from repro.nn.schedulers import CosineLR, StepLR
-from repro.nn.serialization import load_model, save_model
+from repro.nn.serialization import load_model, model_engine_layers, save_model
 from repro.nn.trainer import Trainer, evaluate_classifier
 
 __all__ = [
@@ -63,5 +63,6 @@ __all__ = [
     "Trainer",
     "evaluate_classifier",
     "load_model",
+    "model_engine_layers",
     "save_model",
 ]

@@ -46,16 +46,18 @@ def check_input_gradient(
     module.zero_grad()
     analytic = module.backward(seed_dy)
     numeric = np.zeros_like(x)
-    flat_x = x.reshape(-1)
-    flat_num = numeric.reshape(-1)
-    for idx in range(flat_x.size):
-        orig = flat_x[idx]
-        flat_x[idx] = orig + eps
+    # Index through .flat: it writes through regardless of memory layout,
+    # whereas reshape(-1) silently copies non-contiguous arrays (e.g. a
+    # weight that is a sliced view of a padded buffer) and the probe
+    # perturbations would never reach the module.
+    for idx in range(x.size):
+        orig = x.flat[idx]
+        x.flat[idx] = orig + eps
         plus = _loss(module, x, seed_dy)
-        flat_x[idx] = orig - eps
+        x.flat[idx] = orig - eps
         minus = _loss(module, x, seed_dy)
-        flat_x[idx] = orig
-        flat_num[idx] = (plus - minus) / (2 * eps)
+        x.flat[idx] = orig
+        numeric.flat[idx] = (plus - minus) / (2 * eps)
     # restore the cache for the original input
     module.forward(x)
     return max_relative_error(analytic, numeric)
@@ -82,16 +84,18 @@ def check_parameter_gradients(
     for param in module.parameters():
         analytic = param.grad.copy()
         numeric = np.zeros_like(param.value)
-        flat_value = param.value.reshape(-1)
-        flat_num = numeric.reshape(-1)
-        for idx in range(flat_value.size):
-            orig = flat_value[idx]
-            flat_value[idx] = orig + eps
+        value = param.value
+        # .flat (not reshape(-1)): parameter values may be non-contiguous
+        # views (a PD conv weight is a slice of a padded plane) and a
+        # reshaped copy would swallow the probe perturbations.
+        for idx in range(value.size):
+            orig = value.flat[idx]
+            value.flat[idx] = orig + eps
             plus = _loss(module, x, seed_dy)
-            flat_value[idx] = orig - eps
+            value.flat[idx] = orig - eps
             minus = _loss(module, x, seed_dy)
-            flat_value[idx] = orig
-            flat_num[idx] = (plus - minus) / (2 * eps)
+            value.flat[idx] = orig
+            numeric.flat[idx] = (plus - minus) / (2 * eps)
         worst = max(worst, max_relative_error(analytic, numeric))
     module.forward(x)
     return worst

@@ -5,6 +5,11 @@ they additionally embed the serialized index plan of every PD layer
 (:meth:`~repro.core.BlockPermutedDiagonalMatrix.plan_bytes`), so
 :func:`load_model` reattaches the cached index arithmetic instead of
 recomputing it layer by layer on the first product call.
+
+:func:`model_engine_layers` flattens a trained FC model into the
+``(matrix, activation)`` pairs the hardware surfaces consume
+(:meth:`~repro.hw.PermDNNEngine.run_network`, engine images, and the
+sharded serving bundles of :mod:`repro.serve.bundle`).
 """
 
 from __future__ import annotations
@@ -12,9 +17,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import BlockPermDiagTensor4D, BlockPermutedDiagonalMatrix
+from repro.nn.layers.activations import ReLU, Tanh
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.perm_diag_linear import PermDiagLinear
 from repro.nn.module import Module
+from repro.nn.sequential import Sequential
 
-__all__ = ["load_model", "save_model"]
+__all__ = ["load_model", "model_engine_layers", "save_model"]
 
 # Checkpoint keys carrying serialized index plans (one per PD matrix, in
 # module-discovery order); everything else is parameter state.
@@ -39,6 +49,57 @@ def _pd_matrices(model: Module) -> list[BlockPermutedDiagonalMatrix]:
         if isinstance(tensor, BlockPermDiagTensor4D):
             matrices.append(tensor.plane)
     return matrices
+
+
+def model_engine_layers(
+    model: Module,
+) -> list[tuple[BlockPermutedDiagonalMatrix, str | None]]:
+    """Flatten an FC model into engine-servable ``(matrix, activation)`` pairs.
+
+    Walks the model in module order: every :class:`PermDiagLinear`
+    contributes its structured matrix; a following ``ReLU``/``Tanh``
+    becomes that layer's ActU mode; ``Dropout``/``Flatten`` (inference
+    no-ops) and containers are skipped.  Anything else -- dense layers,
+    convolutions, activations the ActU does not implement, or a PD layer
+    carrying a non-zero bias (the engine computes ``W x`` only) -- raises
+    ``ValueError`` rather than silently serving the wrong function.
+
+    The returned matrices are the layers' **live** structured matrices
+    (aliased storage, cached plans), so exporting or serving them reflects
+    in-place weight updates with zero copies.
+    """
+    layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]] = []
+    pending_activation = False  # True after a PD layer, before an activation
+    for module in model.modules():
+        if isinstance(module, Sequential):
+            continue
+        if isinstance(module, PermDiagLinear):
+            if module.bias is not None and np.any(module.bias.value):
+                raise ValueError(
+                    f"{module!r} carries a non-zero bias; the engine's FC "
+                    f"datapath computes W x only"
+                )
+            layers.append((module.matrix, None))
+            pending_activation = True
+        elif isinstance(module, (ReLU, Tanh)):
+            if not pending_activation:
+                raise ValueError(
+                    f"activation {type(module).__name__} does not follow a "
+                    f"PD FC layer"
+                )
+            matrix, _ = layers[-1]
+            layers[-1] = (matrix, "relu" if isinstance(module, ReLU) else "tanh")
+            pending_activation = False
+        elif isinstance(module, (Dropout, Flatten)):
+            continue  # inference no-ops
+        else:
+            raise ValueError(
+                f"{type(module).__name__} is not servable on the PD FC "
+                f"engine (expected PermDiagLinear + ReLU/Tanh stacks)"
+            )
+    if not layers:
+        raise ValueError("model contains no PermDiagLinear layers")
+    return layers
 
 
 def save_model(path: str, model: Module, include_plans: bool = False) -> None:

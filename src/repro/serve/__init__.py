@@ -1,0 +1,60 @@
+"""Batched, sharded multi-engine serving on top of engine images.
+
+The deployment layer of the reproduction: a multi-layer PD model executes
+across an array of :class:`~repro.hw.PermDNNEngine` instances, each layer
+row-sharded so every engine owns a contiguous block-row slice (the cached
+index plan is *sliced*, never recomputed, and shard values alias the layer
+storage).  Requests flow through a micro-batching queue and micro-batches
+pipeline between the per-layer shard arrays.
+
+- :class:`ModelServer` -- submit / submit_many / drain front end with
+  per-layer, per-shard and per-request statistics.
+- :class:`ShardedLayer` -- one layer split across shard engines.
+- :class:`MicroBatcher` / :class:`Request` / :class:`MicroBatch` -- the
+  deterministic, order-preserving batching queue.
+- :func:`export_sharded_bundle` / :func:`load_sharded_bundle` -- one
+  engine image per shard plus a manifest; cold starts never recompute
+  index arithmetic.
+- :func:`run_serving_benchmark` -- the sharded-vs-baseline measurement
+  behind ``repro serve-bench`` and ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serve.batching import MicroBatch, MicroBatcher, Request
+from repro.serve.bench import (
+    ServingBenchReport,
+    build_alexnet_fc_stack,
+    format_report,
+    make_requests,
+    run_serving_benchmark,
+    run_serving_sweep,
+)
+from repro.serve.bundle import (
+    export_model_bundle,
+    export_sharded_bundle,
+    load_sharded_bundle,
+)
+from repro.serve.server import (
+    LayerShardStats,
+    ModelServer,
+    ServeReport,
+    ShardedLayer,
+)
+
+__all__ = [
+    "LayerShardStats",
+    "MicroBatch",
+    "MicroBatcher",
+    "ModelServer",
+    "Request",
+    "ServeReport",
+    "ServingBenchReport",
+    "ShardedLayer",
+    "build_alexnet_fc_stack",
+    "export_model_bundle",
+    "export_sharded_bundle",
+    "format_report",
+    "load_sharded_bundle",
+    "make_requests",
+    "run_serving_benchmark",
+    "run_serving_sweep",
+]

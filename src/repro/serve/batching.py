@@ -1,0 +1,116 @@
+"""Micro-batching queue for the sharded serving runtime.
+
+Requests accumulate into micro-batches under two limits: a batch closes as
+soon as it holds ``max_batch_size`` requests, or when the next request in
+the queue arrived more than ``flush_deadline_us`` after the batch's first
+member (the deadline flush that bounds queueing latency under light
+traffic).  The policy is a pure function of the request arrival times, so
+a fixed submission sequence always produces the same batches -- the
+determinism the serving tests pin down -- and batches preserve submission
+order end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MicroBatch", "MicroBatcher", "Request"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One queued inference request.
+
+    Attributes:
+        rid: server-assigned id; also the position in the output order.
+        x: input activation vector.
+        arrival_us: simulated arrival time in microseconds.
+    """
+
+    rid: int
+    x: np.ndarray
+    arrival_us: float
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """A closed batch, ready to enter the layer pipeline at ``ready_us``.
+
+    ``ready_us`` is the arrival of the last member for a full batch and
+    ``first_arrival + flush_deadline_us`` for a deadline flush -- the
+    instant the batcher hands the batch to the first layer.
+    """
+
+    requests: tuple[Request, ...]
+    ready_us: float
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    def stacked_inputs(self) -> np.ndarray:
+        """Member inputs stacked into a ``(size, n)`` batch."""
+        return np.stack([request.x for request in self.requests])
+
+
+class MicroBatcher:
+    """Order-preserving micro-batch former.
+
+    Args:
+        max_batch_size: close a batch once it holds this many requests.
+        flush_deadline_us: close a batch once the next request arrives more
+            than this many microseconds after the batch opened (and stamp
+            the batch ready at ``open + deadline``).
+    """
+
+    def __init__(
+        self, max_batch_size: int = 16, flush_deadline_us: float = 50.0
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {max_batch_size}"
+            )
+        if flush_deadline_us < 0:
+            raise ValueError(
+                f"flush_deadline_us must be non-negative, got {flush_deadline_us}"
+            )
+        self.max_batch_size = max_batch_size
+        self.flush_deadline_us = flush_deadline_us
+
+    def plan(self, requests: list[Request]) -> list[MicroBatch]:
+        """Cut an arrival-ordered request list into micro-batches.
+
+        Requests must be in non-decreasing ``arrival_us`` order (the
+        server's submission queue guarantees it); batches keep that order,
+        so concatenating the batches reproduces the request sequence.
+        """
+        batches: list[MicroBatch] = []
+        pending: list[Request] = []
+        for request in requests:
+            if pending and request.arrival_us < pending[-1].arrival_us:
+                raise ValueError(
+                    "requests must be ordered by non-decreasing arrival time"
+                )
+            if (
+                pending
+                and request.arrival_us
+                > pending[0].arrival_us + self.flush_deadline_us
+            ):
+                batches.append(self._close(pending, full=False))
+                pending = []
+            pending.append(request)
+            if len(pending) == self.max_batch_size:
+                batches.append(self._close(pending, full=True))
+                pending = []
+        if pending:
+            batches.append(self._close(pending, full=False))
+        return batches
+
+    def _close(self, pending: list[Request], full: bool) -> MicroBatch:
+        if full:
+            ready = pending[-1].arrival_us
+        else:
+            ready = pending[0].arrival_us + self.flush_deadline_us
+        return MicroBatch(tuple(pending), ready_us=ready)

@@ -1,0 +1,245 @@
+"""Serving benchmark: sharded multi-engine server vs one engine.
+
+Workload: the AlexNet FC stack (FC6 -> FC7 -> FC8 at Table II block sizes,
+optionally width-scaled), driven with inputs at Alex-FC6's Table VII
+activation density.  The baseline is the natural single-engine serving
+loop -- :meth:`~repro.hw.PermDNNEngine.run_fc_batch` layer by layer over
+the whole request set -- and the contender is
+:class:`~repro.serve.ModelServer` with row sharding, micro-batching and
+inter-layer pipelining.  Both are measured in simulated engine time
+(cycles at the configured clock), the repo's standard accounting, and the
+sharded outputs are required to match the baseline **bit for bit**.
+
+Used by both ``repro serve-bench`` (CLI) and
+``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import BlockPermutedDiagonalMatrix
+from repro.hw.config import EngineConfig
+from repro.hw.engine import PermDNNEngine
+from repro.serve.server import ModelServer
+
+__all__ = [
+    "ServingBenchReport",
+    "build_alexnet_fc_stack",
+    "format_report",
+    "make_requests",
+    "run_serving_benchmark",
+    "run_serving_sweep",
+]
+
+# (out, in, p, activation) of the AlexNet FC stack at paper scale
+# (Table II block sizes; widths chain FC6 -> FC7 -> FC8).
+_ALEXNET_FC_STACK = (
+    (4096, 9216, 10, "relu"),
+    (4096, 4096, 10, "relu"),
+    (1000, 4096, 4, None),
+)
+
+# Table VII activation density of Alex-FC6's input.
+_ALEX_FC6_INPUT_DENSITY = 0.358
+
+
+def build_alexnet_fc_stack(
+    scale: int = 1, rng: np.random.Generator | int | None = 0
+) -> list[tuple[BlockPermutedDiagonalMatrix, str | None]]:
+    """The AlexNet FC serving stack, width-divided by ``scale``.
+
+    Widths chain (FC6's output feeds FC7, ...); shapes that stop dividing
+    by the block size are simply padded, which the PD kernel supports.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    layers = []
+    prev_out: int | None = None
+    for m, n, p, activation in _ALEXNET_FC_STACK:
+        n_s = prev_out if prev_out is not None else max(n // scale, p)
+        m_s = max(m // scale, p)
+        matrix = BlockPermutedDiagonalMatrix.random((m_s, n_s), p, rng=rng)
+        layers.append((matrix, activation))
+        prev_out = m_s
+    return layers
+
+
+def make_requests(
+    n: int,
+    num_requests: int,
+    density: float = _ALEX_FC6_INPUT_DENSITY,
+    rng: np.random.Generator | int | None = 0,
+) -> np.ndarray:
+    """``(num_requests, n)`` inputs at the given activation density."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    xs = np.zeros((num_requests, n))
+    nnz = max(int(round(n * density)), 1)
+    for row in range(num_requests):
+        positions = rng.choice(n, size=nnz, replace=False)
+        xs[row, positions] = rng.normal(size=nnz)
+    return xs
+
+
+@dataclass
+class ServingBenchReport:
+    """Everything one serving benchmark run measured.
+
+    Rates are simulated-time requests/second; latencies are simulated
+    microseconds.
+    """
+
+    num_shards: int
+    num_requests: int
+    scale: int
+    max_batch_size: int
+    flush_deadline_us: float
+    baseline_makespan_us: float
+    baseline_rps: float
+    sharded_makespan_us: float
+    sharded_rps: float
+    speedup: float
+    p50_latency_us: float
+    p99_latency_us: float
+    outputs_match: bool
+    batch_sizes: list[int] = field(default_factory=list)
+    layer_cycles: list[int] = field(default_factory=list)
+
+
+def _single_engine_baseline(layers, xs, config):
+    """The natural one-engine serving loop: ``run_fc_batch`` per layer.
+
+    Returns:
+        ``(outputs, total_cycles)`` over the whole request set.
+    """
+    engine = PermDNNEngine(config)
+    current = xs
+    total_cycles = 0
+    for matrix, activation in layers:
+        current, cycles = engine.run_fc_batch(
+            matrix, current, activation=activation
+        )
+        total_cycles += cycles
+    return current, total_cycles
+
+
+def run_serving_sweep(
+    shard_counts: tuple[int, ...],
+    num_requests: int = 32,
+    max_batch_size: int = 16,
+    flush_deadline_us: float = 50.0,
+    scale: int = 1,
+    seed: int = 0,
+    config: EngineConfig | None = None,
+) -> list[ServingBenchReport]:
+    """Measure the sharded server at several shard counts.
+
+    The workload (layers, requests) and the single-engine baseline are
+    built **once** and reused for every shard count, so a sweep costs one
+    baseline pass rather than one per row.
+
+    Returns:
+        One :class:`ServingBenchReport` per entry of ``shard_counts``;
+        ``outputs_match`` asserts the bit-for-bit contract, ``speedup`` is
+        sharded over baseline requests/sec.
+    """
+    rng = np.random.default_rng(seed)
+    layers = build_alexnet_fc_stack(scale=scale, rng=rng)
+    xs = make_requests(layers[0][0].shape[1], num_requests, rng=rng)
+    config = config or EngineConfig()
+    cycles_per_us = config.clock_ghz * 1e3
+    # The benchmark drives an all-at-once burst; cap the batch limit at
+    # the request count so a never-filling batch doesn't sit out the
+    # deadline flush (which would measure the deadline, not the engines).
+    max_batch_size = min(max_batch_size, num_requests)
+
+    baseline_outputs, baseline_cycles = _single_engine_baseline(
+        layers, xs, config
+    )
+    baseline_makespan_us = baseline_cycles / cycles_per_us
+    baseline_rps = num_requests / (baseline_makespan_us * 1e-6)
+
+    reports = []
+    for num_shards in shard_counts:
+        server = ModelServer(
+            layers,
+            num_shards=num_shards,
+            config=config,
+            max_batch_size=max_batch_size,
+            flush_deadline_us=flush_deadline_us,
+        )
+        server.submit_many(xs)
+        report = server.drain()
+        outputs_match = bool(
+            np.array_equal(np.stack(report.outputs), baseline_outputs)
+        )
+        reports.append(ServingBenchReport(
+            num_shards=num_shards,
+            num_requests=num_requests,
+            scale=scale,
+            max_batch_size=max_batch_size,
+            flush_deadline_us=flush_deadline_us,
+            baseline_makespan_us=baseline_makespan_us,
+            baseline_rps=baseline_rps,
+            sharded_makespan_us=report.makespan_us,
+            sharded_rps=report.throughput_rps,
+            speedup=(
+                report.throughput_rps / baseline_rps
+                if baseline_rps > 0
+                else 0.0
+            ),
+            p50_latency_us=report.latency_percentile(50),
+            p99_latency_us=report.latency_percentile(99),
+            outputs_match=outputs_match,
+            batch_sizes=report.batch_sizes,
+            layer_cycles=report.layer_cycles,
+        ))
+    return reports
+
+
+def run_serving_benchmark(
+    num_shards: int = 4,
+    num_requests: int = 32,
+    max_batch_size: int = 16,
+    flush_deadline_us: float = 50.0,
+    scale: int = 1,
+    seed: int = 0,
+    config: EngineConfig | None = None,
+) -> ServingBenchReport:
+    """One-shard-count convenience wrapper around :func:`run_serving_sweep`."""
+    return run_serving_sweep(
+        (num_shards,),
+        num_requests=num_requests,
+        max_batch_size=max_batch_size,
+        flush_deadline_us=flush_deadline_us,
+        scale=scale,
+        seed=seed,
+        config=config,
+    )[0]
+
+
+def format_report(report: ServingBenchReport) -> str:
+    """Human-readable summary of a benchmark run."""
+    lines = [
+        f"workload          : AlexNet-FC stack (scale 1/{report.scale}), "
+        f"{report.num_requests} requests",
+        f"server            : {report.num_shards} shards, "
+        f"max batch {report.max_batch_size}, "
+        f"deadline {report.flush_deadline_us:.1f} us",
+        f"batches formed    : {report.batch_sizes}",
+        f"baseline          : {report.baseline_rps:,.0f} req/s "
+        f"({report.baseline_makespan_us:.1f} us for the set)",
+        f"sharded           : {report.sharded_rps:,.0f} req/s "
+        f"({report.sharded_makespan_us:.1f} us makespan)",
+        f"speedup           : {report.speedup:.2f}x",
+        f"latency p50 / p99 : {report.p50_latency_us:.1f} / "
+        f"{report.p99_latency_us:.1f} us",
+        f"outputs match     : "
+        f"{'bit-for-bit' if report.outputs_match else 'MISMATCH'}",
+    ]
+    return "\n".join(lines)

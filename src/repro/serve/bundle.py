@@ -1,0 +1,177 @@
+"""Sharded engine-image bundles: one engine image per shard.
+
+A bundle is a directory holding ``shard<K>.npz`` engine images (the exact
+:func:`~repro.hw.export_engine_image` format -- each contains shard ``K``'s
+row slice of **every** layer, serialized index plans included) plus a
+``manifest.json`` describing the model: layer shapes, block sizes,
+activations, and the block-row bounds each shard covers.  Loading a bundle
+therefore cold-starts a whole sharded server without recomputing any index
+arithmetic: every shard matrix is rebuilt through
+:meth:`~repro.core.BlockPermutedDiagonalMatrix.from_plan`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import BlockPermutedDiagonalMatrix, row_shard_bounds
+from repro.hw.engine import export_engine_image, load_engine_image
+
+__all__ = ["export_model_bundle", "export_sharded_bundle", "load_sharded_bundle"]
+
+_BUNDLE_FORMAT_VERSION = 1
+_MANIFEST_NAME = "manifest.json"
+
+
+def _shard_file(shard_idx: int) -> str:
+    return f"shard{shard_idx}.npz"
+
+
+def export_sharded_bundle(
+    directory,
+    layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]],
+    num_shards: int,
+) -> None:
+    """Persist a multi-layer model as ``num_shards`` engine images.
+
+    Every layer is row-sharded with
+    :meth:`~repro.core.BlockPermutedDiagonalMatrix.row_shards` semantics
+    (balanced contiguous block-row cuts) and shard ``K`` of every layer
+    lands in ``shard<K>.npz``; plan slicing means export never recomputes
+    index arithmetic either.
+
+    Args:
+        directory: bundle directory (created if missing).
+        layers: ``(matrix, activation)`` pairs, input to output.
+        num_shards: shard count; every layer must have at least this many
+            block rows.
+    """
+    if not layers:
+        raise ValueError("cannot export an empty layer stack")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    bounds_per_layer = [
+        row_shard_bounds(matrix.mb, num_shards) for matrix, _ in layers
+    ]
+    for shard_idx in range(num_shards):
+        shard_layers = [
+            (matrix.row_shard(*bounds_per_layer[layer_idx][shard_idx]), act)
+            for layer_idx, (matrix, act) in enumerate(layers)
+        ]
+        export_engine_image(directory / _shard_file(shard_idx), shard_layers)
+    manifest = {
+        "bundle_version": _BUNDLE_FORMAT_VERSION,
+        "num_shards": num_shards,
+        "num_layers": len(layers),
+        "layers": [
+            {
+                "shape": list(matrix.shape),
+                "p": matrix.p,
+                "activation": activation,
+                "shard_block_bounds": [
+                    list(bounds) for bounds in bounds_per_layer[layer_idx]
+                ],
+            }
+            for layer_idx, (matrix, activation) in enumerate(layers)
+        ],
+        "shard_files": [_shard_file(idx) for idx in range(num_shards)],
+    }
+    with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+
+
+def export_model_bundle(directory, model, num_shards: int) -> None:
+    """Export a trained FC model as a sharded image bundle.
+
+    The model is flattened to ``(matrix, activation)`` pairs by
+    :func:`repro.nn.serialization.model_engine_layers` (which rejects
+    anything the engine cannot serve) and handed to
+    :func:`export_sharded_bundle`.
+    """
+    from repro.nn.serialization import model_engine_layers
+
+    export_sharded_bundle(directory, model_engine_layers(model), num_shards)
+
+
+def load_sharded_bundle(
+    directory,
+    missing_backend: str = "error",
+) -> tuple[list[tuple[list[BlockPermutedDiagonalMatrix], str | None]], dict]:
+    """Reload a bundle: per layer, its shard matrices and activation.
+
+    Every shard matrix carries its deserialized index plan -- no index
+    arithmetic is recomputed -- and shard shapes are cross-checked against
+    the manifest so a truncated or mixed-up bundle fails loudly.
+
+    Args:
+        directory: bundle directory written by :func:`export_sharded_bundle`.
+        missing_backend: forwarded to
+            :func:`~repro.hw.load_engine_image` (``"error"`` or
+            ``"fallback"``) for layers pinned to an unavailable backend.
+
+    Returns:
+        ``(layers, manifest)`` where ``layers[l]`` is
+        ``(shard_matrices, activation)``.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise FileNotFoundError(
+            f"no {_MANIFEST_NAME} in {directory} -- not a sharded bundle"
+        )
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = int(manifest.get("bundle_version", -1))
+    if version != _BUNDLE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bundle version {version} "
+            f"(expected {_BUNDLE_FORMAT_VERSION})"
+        )
+    num_shards = int(manifest["num_shards"])
+    num_layers = int(manifest["num_layers"])
+    shard_images = [
+        load_engine_image(
+            directory / shard_file, missing_backend=missing_backend
+        )
+        for shard_file in manifest["shard_files"]
+    ]
+    if len(shard_images) != num_shards or any(
+        len(image) != num_layers for image in shard_images
+    ):
+        raise ValueError(
+            f"bundle {directory} does not match its manifest "
+            f"({num_shards} shards x {num_layers} layers)"
+        )
+    layers: list[tuple[list[BlockPermutedDiagonalMatrix], str | None]] = []
+    for layer_idx, spec in enumerate(manifest["layers"]):
+        shards = []
+        activation = spec["activation"]
+        p = int(spec["p"])
+        m, n = (int(v) for v in spec["shape"])
+        covered = 0
+        for shard_idx in range(num_shards):
+            matrix, shard_activation = shard_images[shard_idx][layer_idx]
+            start, stop = spec["shard_block_bounds"][shard_idx]
+            expected_m = min((stop - start) * p, m - start * p)
+            if (
+                matrix.p != p
+                or matrix.shape != (expected_m, n)
+                or shard_activation != activation
+            ):
+                raise ValueError(
+                    f"layer {layer_idx} shard {shard_idx}: image "
+                    f"(shape={matrix.shape}, p={matrix.p}, "
+                    f"activation={shard_activation!r}) does not match the "
+                    f"manifest"
+                )
+            covered += matrix.shape[0]
+            shards.append(matrix)
+        if covered != m:
+            raise ValueError(
+                f"layer {layer_idx}: shards cover {covered} rows, "
+                f"manifest says {m}"
+            )
+        layers.append((shards, activation))
+    return layers, manifest

@@ -1,0 +1,425 @@
+"""Batched, sharded multi-engine serving runtime.
+
+``ModelServer`` drives a stack of PD FC layers the way the paper's
+deployment story scales past one engine: each layer's
+:class:`~repro.core.BlockPermutedDiagonalMatrix` is cut **row-wise** into
+``num_shards`` shards (block-row granularity, so every shard is itself a
+valid PD matrix) and each shard executes on its own
+:class:`~repro.hw.PermDNNEngine` instance.  Because row shards partition
+the output dimension, the shard engines run the *same* zero-skipped input
+columns concurrently and their stacked outputs reproduce the unsharded
+:meth:`~repro.hw.PermDNNEngine.run_fc_batch` result bit for bit.
+
+Sharding reuses the layer matrix's cached index plan through
+:meth:`~repro.core.BlockPermutedDiagonalMatrix.row_shard` (pure slicing of
+the ``_IndexPlan`` arrays -- index arithmetic is computed once per layer,
+never per shard) and shard ``data`` aliases the layer's storage, so a
+server wraps live training weights with zero copies.
+
+Requests flow through a :class:`~repro.serve.batching.MicroBatcher`
+(configurable batch size and flush deadline) and micro-batches pipeline
+between layers: layer ``l`` starts batch ``b`` as soon as layer ``l-1``
+finished it *and* layer ``l`` finished batch ``b-1``.  Timing is simulated
+engine time (cycles at the configured clock), the same accounting every
+other ``repro.hw`` result uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import BlockPermutedDiagonalMatrix
+from repro.hw.config import EngineConfig
+from repro.hw.engine import PermDNNEngine
+from repro.serve.batching import MicroBatcher, Request
+
+__all__ = ["LayerShardStats", "ModelServer", "ServeReport", "ShardedLayer"]
+
+
+@dataclass
+class LayerShardStats:
+    """Cumulative counters for one ``(layer, shard)`` engine.
+
+    Attributes:
+        cycles: busy cycles across all processed micro-batches.
+        macs: multiply-accumulates performed.
+        batches: micro-batches processed.
+        samples: individual requests processed.
+    """
+
+    cycles: int = 0
+    macs: int = 0
+    batches: int = 0
+    samples: int = 0
+
+
+class ShardedLayer:
+    """One FC layer split row-wise across shard engines.
+
+    Built either from a full layer matrix (:meth:`__init__` calls
+    :meth:`~repro.core.BlockPermutedDiagonalMatrix.row_shards`) or from
+    pre-sharded matrices loaded out of a bundle (:meth:`from_shards`).
+
+    Args:
+        matrix: the full ``(out, in)`` PD weight matrix.
+        activation: optional ActU mode (``"relu"``/``"tanh"``) applied by
+            every shard engine to its output slice (elementwise, so the
+            sharded result still matches the unsharded one exactly).
+        num_shards: how many engines the layer spreads over.
+    """
+
+    def __init__(
+        self,
+        matrix: BlockPermutedDiagonalMatrix,
+        activation: str | None,
+        num_shards: int,
+    ) -> None:
+        self._init_from(matrix.row_shards(num_shards), activation)
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: list[BlockPermutedDiagonalMatrix],
+        activation: str | None,
+    ) -> "ShardedLayer":
+        """Wrap already-sharded matrices (e.g. from a sharded bundle)."""
+        if not shards:
+            raise ValueError("a sharded layer needs at least one shard")
+        widths = {shard.shape[1] for shard in shards}
+        if len(widths) != 1:
+            raise ValueError(
+                f"shard input widths disagree: {sorted(widths)}"
+            )
+        layer = cls.__new__(cls)
+        layer._init_from(list(shards), activation)
+        return layer
+
+    def _init_from(
+        self, shards: list[BlockPermutedDiagonalMatrix], activation: str | None
+    ) -> None:
+        self.shards = shards
+        self.activation = activation
+        self.num_shards = len(shards)
+        self.in_features = shards[0].shape[1]
+        self.out_features = sum(shard.shape[0] for shard in shards)
+
+    def check_capacity(self, engines: list[PermDNNEngine]) -> None:
+        """Verify every shard fits its engine's SRAM budget."""
+        for engine, shard in zip(engines, self.shards):
+            engine.check_capacity(shard)
+
+    def run_batch(
+        self,
+        engines: list[PermDNNEngine],
+        x_batch: np.ndarray,
+        zero_skip: bool = True,
+        enforce_capacity: bool = True,
+    ) -> tuple[np.ndarray, list[int], list[int]]:
+        """Execute one micro-batch on every shard engine.
+
+        Each shard runs through
+        :meth:`~repro.hw.PermDNNEngine.run_fc_batch_detailed` -- the same
+        accounting as the unsharded baseline (pipeline fill paid once per
+        batch, per-sample compute + writeback) -- so the concatenated
+        outputs are bit-identical to the unsharded batch call by
+        construction.
+
+        Returns:
+            ``(outputs, shard_cycles, shard_macs)`` with outputs of shape
+            ``(B, out_features)``; the batch's wall time on the shard array
+            is ``max(shard_cycles)`` since the engines run concurrently.
+        """
+        outputs = np.empty((x_batch.shape[0], self.out_features))
+        shard_cycles: list[int] = []
+        shard_macs: list[int] = []
+        offset = 0
+        for engine, shard in zip(engines, self.shards):
+            out, cycles, macs = engine.run_fc_batch_detailed(
+                shard,
+                x_batch,
+                activation=self.activation,
+                zero_skip=zero_skip,
+                enforce_capacity=enforce_capacity,
+            )
+            outputs[:, offset : offset + shard.shape[0]] = out
+            offset += shard.shape[0]
+            shard_cycles.append(cycles)
+            shard_macs.append(macs)
+        return outputs, shard_cycles, shard_macs
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedLayer({self.in_features} -> {self.out_features}, "
+            f"shards={self.num_shards}, activation={self.activation!r})"
+        )
+
+
+@dataclass
+class ServeReport:
+    """Everything one :meth:`ModelServer.drain` produced.
+
+    Attributes:
+        outputs: final-layer output per request, in submission (rid) order.
+        latencies_us: per-request latency (completion minus arrival).
+        batch_sizes: micro-batch sizes, in formation order.
+        makespan_us: first arrival to last completion.
+        throughput_rps: requests served per second of simulated time.
+        layer_stats: ``(L, N)`` grid of per-(layer, shard) counters for
+            this drain.
+        layer_cycles: per-layer critical-path cycles (the slowest shard of
+            every micro-batch, summed).
+    """
+
+    outputs: list[np.ndarray]
+    latencies_us: np.ndarray
+    batch_sizes: list[int]
+    makespan_us: float
+    throughput_rps: float
+    layer_stats: list[list[LayerShardStats]]
+    layer_cycles: list[int]
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.outputs)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile in microseconds (e.g. ``q=50``, ``q=99``)."""
+        if self.latencies_us.size == 0:
+            return 0.0
+        return float(np.percentile(self.latencies_us, q))
+
+
+class ModelServer:
+    """Sharded multi-engine serving front end (submit / drain).
+
+    Args:
+        layers: ``(matrix, activation)`` pairs, input to output (the same
+            shape :meth:`~repro.hw.PermDNNEngine.run_network` accepts), or
+            pre-built :class:`ShardedLayer` objects.
+        num_shards: engines per layer; each holds one row shard.
+        config: engine configuration shared by every shard engine.
+        max_batch_size: micro-batcher fill limit.
+        flush_deadline_us: micro-batcher deadline flush.
+        zero_skip: forward the engines' input zero-skipping.
+        enforce_capacity: validate every shard against its engine's SRAM
+            budget at construction (and per call).
+    """
+
+    def __init__(
+        self,
+        layers: list,
+        num_shards: int = 4,
+        config: EngineConfig | None = None,
+        max_batch_size: int = 16,
+        flush_deadline_us: float = 50.0,
+        zero_skip: bool = True,
+        enforce_capacity: bool = True,
+    ) -> None:
+        if not layers:
+            raise ValueError("ModelServer needs at least one layer")
+        self.config = config or EngineConfig()
+        self.zero_skip = zero_skip
+        self.enforce_capacity = enforce_capacity
+        self.layers: list[ShardedLayer] = [
+            layer
+            if isinstance(layer, ShardedLayer)
+            else ShardedLayer(layer[0], layer[1], num_shards)
+            for layer in layers
+        ]
+        # Derive from the layers: a pre-built ShardedLayer carries its own
+        # shard count, which the ``num_shards`` argument does not override.
+        self.num_shards = self.layers[0].num_shards
+        for prev, nxt in zip(self.layers, self.layers[1:]):
+            if prev.out_features != nxt.in_features:
+                raise ValueError(
+                    f"layer chain mismatch: {prev!r} feeds {nxt!r}"
+                )
+        # One engine per (layer, shard): every shard owns its own SRAMs and
+        # counters, exactly like an array of physical engines would.
+        self.engines: list[list[PermDNNEngine]] = [
+            [PermDNNEngine(self.config) for _ in range(layer.num_shards)]
+            for layer in self.layers
+        ]
+        if enforce_capacity:
+            for layer, engines in zip(self.layers, self.engines):
+                layer.check_capacity(engines)
+        self.batcher = MicroBatcher(max_batch_size, flush_deadline_us)
+        self._pending: list[Request] = []
+        self._next_rid = 0
+        self._last_arrival_us = 0.0
+
+    @classmethod
+    def from_model(cls, model, **kwargs) -> "ModelServer":
+        """Wrap a trained FC model (its live weights, zero copies).
+
+        The model is flattened through
+        :func:`repro.nn.serialization.model_engine_layers`; shard data
+        aliases the layers' parameter storage, so serving reflects
+        subsequent in-place weight updates.
+        """
+        from repro.nn.serialization import model_engine_layers
+
+        return cls(model_engine_layers(model), **kwargs)
+
+    @classmethod
+    def from_bundle(
+        cls,
+        directory,
+        missing_backend: str = "error",
+        **kwargs,
+    ) -> "ModelServer":
+        """Boot a server from a sharded image bundle.
+
+        Every shard matrix arrives with its serialized index plan
+        (:mod:`repro.serve.bundle`), so cold-starting a many-layer sharded
+        server performs **no** index arithmetic.  Keyword arguments are
+        forwarded to the constructor (batching, config, ...).
+        """
+        from repro.serve.bundle import load_sharded_bundle
+
+        layers, _ = load_sharded_bundle(
+            directory, missing_backend=missing_backend
+        )
+        sharded = [
+            ShardedLayer.from_shards(shards, activation)
+            for shards, activation in layers
+        ]
+        return cls(sharded, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def in_features(self) -> int:
+        return self.layers[0].in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.layers[-1].out_features
+
+    @property
+    def cycles_per_us(self) -> float:
+        return self.config.clock_ghz * 1e3
+
+    def submit(self, x: np.ndarray, arrival_us: float | None = None) -> int:
+        """Queue one request; returns its id (= output position).
+
+        ``arrival_us`` defaults to the previous request's arrival (an
+        all-at-once burst when never specified); arrivals are clamped to be
+        non-decreasing so the queue stays ordered.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.in_features,):
+            raise ValueError(
+                f"expected input of shape ({self.in_features},), got {x.shape}"
+            )
+        if arrival_us is None:
+            arrival_us = self._last_arrival_us
+        arrival_us = max(float(arrival_us), self._last_arrival_us)
+        self._last_arrival_us = arrival_us
+        rid = self._next_rid
+        self._next_rid += 1
+        self._pending.append(Request(rid, x, arrival_us))
+        return rid
+
+    def submit_many(
+        self,
+        xs: np.ndarray,
+        arrivals_us: np.ndarray | None = None,
+    ) -> list[int]:
+        """Queue a batch of requests; returns their ids in order."""
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim != 2:
+            raise ValueError(f"expected inputs of shape (B, n), got {xs.shape}")
+        if arrivals_us is None:
+            return [self.submit(x) for x in xs]
+        arrivals = np.asarray(arrivals_us, dtype=np.float64)
+        if arrivals.shape != (xs.shape[0],):
+            raise ValueError(
+                f"arrivals_us shape {arrivals.shape} does not match "
+                f"batch of {xs.shape[0]}"
+            )
+        return [self.submit(x, t) for x, t in zip(xs, arrivals)]
+
+    def drain(self) -> ServeReport:
+        """Serve every pending request and return the drain report.
+
+        Micro-batches are formed by the batcher, then pipelined through
+        the layer shard arrays: batch ``b`` enters layer ``l`` at
+        ``max(completion[l-1][b], completion[l][b-1], ready_b)`` and
+        occupies the layer for its slowest shard's cycles.  Outputs come
+        back in submission order regardless of batching.
+        """
+        pending, self._pending = self._pending, []
+        batches = self.batcher.plan(pending)
+        num_layers = len(self.layers)
+        layer_stats = [
+            [LayerShardStats() for _ in range(layer.num_shards)]
+            for layer in self.layers
+        ]
+        layer_cycles = [0] * num_layers
+        outputs: dict[int, np.ndarray] = {}
+        latencies: dict[int, float] = {}
+        # completion time (in cycles) of the previous batch, per layer
+        layer_free = [0.0] * num_layers
+        for batch in batches:
+            current = batch.stacked_inputs()
+            done = batch.ready_us * self.cycles_per_us
+            for idx, (layer, engines) in enumerate(
+                zip(self.layers, self.engines)
+            ):
+                current, shard_cycles, shard_macs = layer.run_batch(
+                    engines,
+                    current,
+                    zero_skip=self.zero_skip,
+                    enforce_capacity=self.enforce_capacity,
+                )
+                stage = max(shard_cycles)
+                start = max(done, layer_free[idx])
+                done = start + stage
+                layer_free[idx] = done
+                layer_cycles[idx] += stage
+                for shard_idx, (cycles, macs) in enumerate(
+                    zip(shard_cycles, shard_macs)
+                ):
+                    stats = layer_stats[idx][shard_idx]
+                    stats.cycles += cycles
+                    stats.macs += macs
+                    stats.batches += 1
+                    stats.samples += batch.size
+            completion_us = done / self.cycles_per_us
+            for row, request in enumerate(batch.requests):
+                outputs[request.rid] = current[row]
+                latencies[request.rid] = completion_us - request.arrival_us
+        rids = sorted(outputs)
+        latencies_us = np.asarray([latencies[rid] for rid in rids])
+        if pending:
+            first_arrival = min(request.arrival_us for request in pending)
+            last_completion = max(
+                request.arrival_us + latencies[request.rid]
+                for request in pending
+            )
+            makespan_us = last_completion - first_arrival
+        else:
+            makespan_us = 0.0
+        throughput = (
+            len(rids) / (makespan_us * 1e-6) if makespan_us > 0 else 0.0
+        )
+        return ServeReport(
+            outputs=[outputs[rid] for rid in rids],
+            latencies_us=latencies_us,
+            batch_sizes=[batch.size for batch in batches],
+            makespan_us=makespan_us,
+            throughput_rps=throughput,
+            layer_stats=layer_stats,
+            layer_cycles=layer_cycles,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelServer(layers={len(self.layers)}, "
+            f"shards={self.num_shards}, "
+            f"max_batch={self.batcher.max_batch_size}, "
+            f"deadline={self.batcher.flush_deadline_us}us)"
+        )

@@ -5,7 +5,12 @@ import pytest
 
 import repro.core.block_perm_diag as mod
 from repro.core import BlockPermutedDiagonalMatrix
-from repro.hw import PermDNNEngine, export_engine_image, load_engine_image
+from repro.hw import (
+    EngineImageBackendError,
+    PermDNNEngine,
+    export_engine_image,
+    load_engine_image,
+)
 
 
 def _layers(rng):
@@ -82,3 +87,67 @@ class TestEngineImage:
         np.savez_compressed(path, **payload)
         with pytest.raises(ValueError, match="version"):
             load_engine_image(path)
+
+
+class TestImageBackendMetadata:
+    def _pinned_image(self, tmp_path, backend):
+        rng = np.random.default_rng(5)
+        layers = _layers(rng)
+        layers[0][0].set_backend(backend)
+        path = str(tmp_path / "image.npz")
+        export_engine_image(path, layers)
+        return path
+
+    def test_pinned_backend_round_trips(self, tmp_path):
+        path = self._pinned_image(tmp_path, "gather")
+        loaded = load_engine_image(path)
+        assert loaded[0][0].backend == "gather"
+        assert loaded[1][0].backend is None
+
+    def test_unavailable_backend_raises_typed_error(self, tmp_path, monkeypatch):
+        path = self._pinned_image(tmp_path, "csr")
+        monkeypatch.setattr(mod, "_scipy_sparse", None)  # csr now unavailable
+        with pytest.raises(EngineImageBackendError, match="csr"):
+            load_engine_image(path)
+
+    def test_unknown_backend_raises_typed_error(self, tmp_path):
+        path = self._pinned_image(tmp_path, "gather")
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["layer0_backend"] = np.str_("bogus")
+        np.savez_compressed(path, **payload)
+        with pytest.raises(EngineImageBackendError, match="bogus"):
+            load_engine_image(path)
+
+    def test_fallback_warns_and_uses_default_backend(
+        self, tmp_path, monkeypatch
+    ):
+        path = self._pinned_image(tmp_path, "csr")
+        monkeypatch.setattr(mod, "_scipy_sparse", None)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            loaded = load_engine_image(path, missing_backend="fallback")
+        assert loaded[0][0].backend is None
+        # the fallback image still executes (on the default backend)
+        rng = np.random.default_rng(6)
+        PermDNNEngine().run_network(loaded, rng.normal(size=48))
+
+    def test_invalid_missing_backend_value_rejected(self, tmp_path):
+        path = self._pinned_image(tmp_path, "gather")
+        with pytest.raises(ValueError, match="missing_backend"):
+            load_engine_image(path, missing_backend="ignore")
+
+    def test_images_without_backend_key_still_load(self, tmp_path):
+        """Backward compatibility: images written before the backend key
+        existed (same format version) load with no pinned backend."""
+        rng = np.random.default_rng(7)
+        path = str(tmp_path / "image.npz")
+        export_engine_image(path, _layers(rng))
+        with np.load(path) as archive:
+            payload = {
+                key: archive[key]
+                for key in archive.files
+                if not key.endswith("_backend")
+            }
+        np.savez_compressed(path, **payload)
+        loaded = load_engine_image(path)
+        assert all(matrix.backend is None for matrix, _ in loaded)

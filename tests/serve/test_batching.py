@@ -1,0 +1,69 @@
+"""Micro-batcher: order preservation, fill/deadline closes, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher, Request
+
+
+def _requests(arrivals):
+    return [
+        Request(rid, np.asarray([float(rid)]), arrival)
+        for rid, arrival in enumerate(arrivals)
+    ]
+
+
+class TestMicroBatcher:
+    def test_full_batches_close_at_last_arrival(self):
+        batcher = MicroBatcher(max_batch_size=3, flush_deadline_us=100.0)
+        batches = batcher.plan(_requests([0.0, 1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert [b.size for b in batches] == [3, 3]
+        assert [b.ready_us for b in batches] == [2.0, 5.0]
+
+    def test_deadline_flush_closes_partial_batch(self):
+        batcher = MicroBatcher(max_batch_size=8, flush_deadline_us=10.0)
+        batches = batcher.plan(_requests([0.0, 5.0, 50.0, 52.0]))
+        assert [b.size for b in batches] == [2, 2]
+        # partial batches are stamped ready at open + deadline
+        assert [b.ready_us for b in batches] == [10.0, 60.0]
+
+    def test_submission_order_preserved_across_batches(self):
+        batcher = MicroBatcher(max_batch_size=4, flush_deadline_us=5.0)
+        arrivals = [0.0, 1.0, 2.0, 20.0, 21.0, 40.0]
+        batches = batcher.plan(_requests(arrivals))
+        flattened = [r.rid for b in batches for r in b.requests]
+        assert flattened == list(range(len(arrivals)))
+
+    def test_plan_is_deterministic(self):
+        batcher = MicroBatcher(max_batch_size=3, flush_deadline_us=7.0)
+        rng = np.random.default_rng(0)
+        arrivals = np.sort(rng.uniform(0, 100, size=20))
+        first = batcher.plan(_requests(arrivals))
+        second = batcher.plan(_requests(arrivals))
+        assert [b.size for b in first] == [b.size for b in second]
+        assert [b.ready_us for b in first] == [b.ready_us for b in second]
+
+    def test_ready_never_precedes_members(self):
+        batcher = MicroBatcher(max_batch_size=4, flush_deadline_us=3.0)
+        rng = np.random.default_rng(1)
+        arrivals = np.sort(rng.uniform(0, 50, size=17))
+        for batch in batcher.plan(_requests(arrivals)):
+            assert batch.ready_us >= max(r.arrival_us for r in batch.requests)
+
+    def test_out_of_order_arrivals_rejected(self):
+        batcher = MicroBatcher()
+        with pytest.raises(ValueError, match="non-decreasing"):
+            batcher.plan(_requests([5.0, 1.0]))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError, match="flush_deadline_us"):
+            MicroBatcher(flush_deadline_us=-1.0)
+
+    def test_stacked_inputs_follow_request_order(self):
+        batcher = MicroBatcher(max_batch_size=4, flush_deadline_us=10.0)
+        (batch,) = batcher.plan(_requests([0.0, 0.0, 0.0]))
+        np.testing.assert_array_equal(
+            batch.stacked_inputs(), [[0.0], [1.0], [2.0]]
+        )
