@@ -69,6 +69,7 @@ matrices without recomputing any of it.
 
 from __future__ import annotations
 
+import contextlib
 import io
 
 import numpy as np
@@ -95,6 +96,27 @@ _PLAN_FORMAT_VERSION = 1
 # Lazily-built plan members, as (serialization key, attribute) pairs; each
 # is a tuple of arrays when built, None otherwise.
 _PLAN_LAZY_FIELDS = (("t", "_t_arrays"), ("sc", "_support_coords"))
+
+
+@contextlib.contextmanager
+def _ensure_writable(arr: np.ndarray):
+    """Temporarily lift a read-only flag, restoring it on *every* exit.
+
+    The sanitizer (:mod:`repro.debug.sanitizer`) freezes shared buffers by
+    clearing ``flags.writeable``; sanctioned in-place mutation paths wrap
+    their writes in this context so the freeze survives them -- including
+    when the write itself raises.  Arrays that are genuinely immutable
+    (views whose base this process may not write) make ``setflags`` raise
+    ``ValueError``; callers catch that and fall back to a copy.
+    """
+    original = bool(arr.flags.writeable)
+    if not original:
+        arr.setflags(write=True)
+    try:
+        yield arr
+    finally:
+        if not original:
+            arr.setflags(write=False)
 
 
 def row_shard_bounds(num_block_rows: int, num_shards: int) -> list[tuple[int, int]]:
@@ -588,9 +610,12 @@ class BlockPermutedDiagonalMatrix:
         if self._shape != (mb * p, nb * p):
             support = self._get_plan().support
             if np.any(self._data[~support]):
-                if self._data.flags.writeable:
-                    self._data[~support] = 0.0
-                else:
+                try:
+                    with _ensure_writable(self._data):
+                        self._data[~support] = 0.0
+                except ValueError:
+                    # Genuinely immutable buffer (read-only base we do not
+                    # own): aliasing cannot survive, mask into a copy.
                     self._data = self._data * support
         return self
 

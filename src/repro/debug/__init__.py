@@ -1,0 +1,25 @@
+"""Runtime debugging aids for the PermDNN stack.
+
+:mod:`repro.debug.sanitizer` is the runtime counterpart of the static
+checks in ``tools/repro_lint``: it enforces the data-aliasing and
+plan-cache contracts while real code runs (see
+``docs/STATIC_ANALYSIS.md``).
+"""
+
+from repro.debug.sanitizer import (
+    AliasingViolationError,
+    PlanRebuildError,
+    SanitizerStats,
+    current_sanitizer,
+    sanitize,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "AliasingViolationError",
+    "PlanRebuildError",
+    "SanitizerStats",
+    "current_sanitizer",
+    "sanitize",
+    "sanitize_enabled",
+]

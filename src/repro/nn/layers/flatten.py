@@ -14,13 +14,13 @@ class Flatten(Module):
 
     def __init__(self) -> None:
         super().__init__()
-        self._shape: tuple[int, ...] | None = None
+        self._input_shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._shape = x.shape
+        self._input_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
-        if self._shape is None:
+        if self._input_shape is None:
             raise RuntimeError("backward called before forward")
-        return dy.reshape(self._shape)
+        return dy.reshape(self._input_shape)

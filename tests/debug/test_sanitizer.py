@@ -1,0 +1,202 @@
+"""Tests for the runtime aliasing/plan-cache sanitizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.block_perm_diag import BlockPermutedDiagonalMatrix
+from repro.debug import (
+    AliasingViolationError,
+    PlanRebuildError,
+    current_sanitizer,
+    sanitize,
+    sanitize_enabled,
+)
+
+
+def _matrix(seed=0, blocks=(4, 3), p=4):
+    rng = np.random.default_rng(seed)
+    ks = rng.integers(0, p, size=blocks)
+    data = rng.standard_normal((*blocks, p))
+    return BlockPermutedDiagonalMatrix(data, ks)
+
+
+class TestPlanCounting:
+    def test_first_build_is_not_a_rebuild(self):
+        m = _matrix()
+        with sanitize() as s:
+            m.matmat(np.zeros((2, m.shape[1])))
+            assert s.stats.plan_builds == 1
+            assert s.stats.plan_rebuilds == 0
+            s.assert_no_plan_rebuild()
+
+    def test_repeat_products_hit_the_cache(self):
+        m = _matrix()
+        x = np.zeros((2, m.shape[1]))
+        with sanitize() as s:
+            for _ in range(5):
+                m.matmat(x)
+            assert s.stats.plan_builds == 1
+
+    def test_clobbered_plan_counts_as_rebuild(self):
+        m = _matrix()
+        with sanitize() as s:
+            m.matmat(np.zeros((2, m.shape[1])))
+            m._plan = None  # what RPR001 forbids outside core/
+            m.matmat(np.zeros((2, m.shape[1])))
+            assert s.stats.plan_rebuilds == 1
+            with pytest.raises(PlanRebuildError, match="rebuild"):
+                s.assert_no_plan_rebuild()
+
+    def test_build_before_sanitizer_still_counts_as_rebuild(self):
+        m = _matrix()
+        m.matmat(np.zeros((2, m.shape[1])))  # plan built unwatched
+        with sanitize() as s:
+            m.matmat(np.zeros((2, m.shape[1])))  # marks "has built"
+            m._plan = None
+            m.matmat(np.zeros((2, m.shape[1])))
+            assert s.stats.plan_rebuilds == 1
+
+    def test_adopted_plan_counts_zero_builds(self):
+        m = _matrix()
+        blob = m.plan_bytes()
+        clone = BlockPermutedDiagonalMatrix.from_plan(blob, m.data)
+        with sanitize() as s:
+            clone.matmat(np.zeros((2, clone.shape[1])))
+            assert s.stats.plan_builds == 0
+            assert s.stats.plan_rebuilds == 0
+
+    def test_shared_plans_count_once_per_family(self):
+        m = _matrix()
+        with sanitize() as s:
+            siblings = [m.like(m.data * i) for i in range(1, 4)]
+            x = np.zeros((2, m.shape[1]))
+            for sib in siblings:
+                sib.matmat(x)
+            assert s.stats.plan_builds == 1
+
+
+class TestShardAliasing:
+    def test_shards_verified_and_frozen(self):
+        m = _matrix()
+        with sanitize() as s:
+            shards = m.row_shards(2)
+            assert s.stats.shard_checks == 2
+            assert s.stats.frozen_buffers == 2
+            for shard in shards:
+                assert np.shares_memory(shard.data, m.data)
+                with pytest.raises(ValueError):
+                    shard.data[0, 0, 0] = 1.0
+            # writes through the parent stay visible in every shard
+            m.data[0, 0, 0] = 42.0
+            assert shards[0].data[0, 0, 0] == 42.0
+        # This scope's freeze is undone on exit.  Under REPRO_SANITIZE=1
+        # the autouse fixture holds an *outer* sanitizer whose own freeze
+        # (applied when the inner wrapper chained to it) stays until
+        # teardown -- so "restored" means writable only with no outer scope.
+        expect_writable = current_sanitizer() is None
+        for shard in shards:
+            assert shard.data.flags.writeable == expect_writable
+
+    def test_copying_row_shard_raises(self, monkeypatch):
+        m = _matrix()
+        orig = BlockPermutedDiagonalMatrix.row_shard
+
+        def copying_row_shard(self, start, stop):
+            out = orig(self, start, stop)
+            out.data = np.array(out.data)  # decouple: breaks the contract
+            return out
+
+        monkeypatch.setattr(
+            BlockPermutedDiagonalMatrix, "row_shard", copying_row_shard
+        )
+        with sanitize():
+            with pytest.raises(AliasingViolationError, match="copy"):
+                m.row_shard(0, 2)
+
+    def test_assert_aliases_helper(self):
+        a = np.zeros(4)
+        with sanitize() as s:
+            s.assert_aliases(a, a[1:], "slice of a")
+            with pytest.raises(AliasingViolationError, match="widget"):
+                s.assert_aliases(a, np.zeros(4), "widget")
+
+    def test_products_unaffected_by_freezing(self):
+        m = _matrix(seed=3)
+        x = np.random.default_rng(4).standard_normal((5, m.shape[1]))
+        expected = m.matmat(x)
+        with sanitize():
+            shards = m.row_shards(2)
+            stacked = np.hstack([shard.matmat(x) for shard in shards])
+        np.testing.assert_array_equal(stacked, expected)
+
+
+class TestScopes:
+    def test_patches_undone_on_exit(self):
+        before_plan = BlockPermutedDiagonalMatrix._get_plan
+        before_shard = BlockPermutedDiagonalMatrix.row_shard
+        with sanitize():
+            assert BlockPermutedDiagonalMatrix._get_plan is not before_plan
+            assert BlockPermutedDiagonalMatrix.row_shard is not before_shard
+        assert BlockPermutedDiagonalMatrix._get_plan is before_plan
+        assert BlockPermutedDiagonalMatrix.row_shard is before_shard
+
+    def test_patches_undone_on_exception(self):
+        before = BlockPermutedDiagonalMatrix._get_plan
+        with pytest.raises(RuntimeError, match="boom"):
+            with sanitize():
+                raise RuntimeError("boom")
+        assert BlockPermutedDiagonalMatrix._get_plan is before
+
+    def test_nested_scopes_both_count(self):
+        m = _matrix()
+        with sanitize() as outer:
+            with sanitize() as inner:
+                assert current_sanitizer() is inner
+                m.row_shards(2)
+                assert inner.stats.shard_checks == 2
+            assert current_sanitizer() is outer
+            assert outer.stats.shard_checks == 2
+
+    def test_current_sanitizer_outside_any_scope(self):
+        # The REPRO_SANITIZE=1 autouse fixture may hold an outer scope;
+        # relative depth is what this asserts.
+        baseline = current_sanitizer()
+        with sanitize() as s:
+            assert current_sanitizer() is s
+        assert current_sanitizer() is baseline
+
+    def test_env_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize_enabled()
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert not sanitize_enabled()
+
+
+class TestSanctionedMutationUnderFreeze:
+    def test_set_structure_remasks_frozen_buffer_in_place(self):
+        m = _matrix(blocks=(2, 2), p=4)
+        buf = m.data
+        buf.setflags(write=False)
+        try:
+            m.set_structure(shape=(7, 7))
+            assert m.data is buf  # aliasing survived the re-mask
+            assert not buf.flags.writeable  # freeze restored
+            support = m._get_plan().support
+            assert not np.any(np.asarray(m.data)[~support])
+        finally:
+            buf.setflags(write=True)
+
+    def test_set_structure_falls_back_to_copy_when_immutable(self):
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal((2, 2, 4))
+        base.setflags(write=False)
+        view = base[:]  # view of a read-only base: truly immutable
+        m = BlockPermutedDiagonalMatrix(view, rng.integers(0, 4, (2, 2)))
+        m.set_structure(shape=(7, 7))
+        assert not np.shares_memory(m.data, base)
+        support = m._get_plan().support
+        assert not np.any(m.data[~support])
+        # the original buffer was never written
+        assert np.any(base[~support])

@@ -147,3 +147,31 @@ class TestPlanCheckpointing:
         )
         with pytest.raises(ValueError):
             load_model(path, wrong)
+
+
+class TestModelEngineLayersAliasing:
+    def test_returned_matrices_are_live(self):
+        """model_engine_layers hands out the layers' *live* matrices:
+        storage aliased with the trainable parameters, no copies."""
+        from repro.nn import PermDiagLinear, ReLU, Sequential
+        from repro.nn.serialization import model_engine_layers
+
+        model = Sequential(
+            PermDiagLinear(16, 32, p=4, bias=False, rng=0),
+            ReLU(),
+            PermDiagLinear(32, 8, p=4, bias=False, rng=1),
+        )
+        pd_modules = [
+            m for m in model.modules() if isinstance(m, PermDiagLinear)
+        ]
+        layers = model_engine_layers(model)
+        assert len(layers) == len(pd_modules)
+        for (matrix, activation), module in zip(layers, pd_modules):
+            assert matrix is module.matrix
+            assert np.shares_memory(matrix.data, module.weight.value)
+        assert [act for _, act in layers] == ["relu", None]
+        # an in-place parameter update is immediately visible
+        pd_modules[0].weight.value *= 2.0
+        np.testing.assert_array_equal(
+            layers[0][0].data, pd_modules[0].weight.value
+        )

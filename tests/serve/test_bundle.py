@@ -114,3 +114,22 @@ class TestBundleValidation:
         dense = build_alexnet_fc(None, scale=64, dropout=0.0, rng=0)
         with pytest.raises(ValueError, match="not servable"):
             export_model_bundle(tmp_path, dense, num_shards=2)
+
+
+class TestBundleSanitizer:
+    def test_bundle_boot_and_serve_zero_plan_builds(self, tmp_path):
+        """Sanitizer-counted cold-start property: loading a sharded bundle
+        and serving from it performs no index arithmetic at all -- every
+        plan arrives deserialized."""
+        from repro.debug import sanitize
+
+        layers = _stack()
+        export_sharded_bundle(tmp_path, layers, num_shards=2)
+        xs = np.random.default_rng(2).normal(size=(4, 48))
+        with sanitize() as s:
+            server = ModelServer.from_bundle(tmp_path, max_batch_size=4)
+            server.submit_many(xs)
+            server.drain()
+            assert s.stats.plan_builds == 0
+            assert s.stats.plan_rebuilds == 0
+            s.assert_no_plan_rebuild()

@@ -191,3 +191,43 @@ class TestValidation:
             ShardedLayer.from_shards([a, b], None)
         with pytest.raises(ValueError, match="at least one shard"):
             ShardedLayer.from_shards([], None)
+
+
+class TestAliasingContract:
+    """The zero-copy chain: Parameter -> layer matrix -> every shard."""
+
+    def test_parameter_to_shard_memory_chain(self):
+        from repro.debug import sanitize
+        from repro.models import build_alexnet_fc
+        from repro.nn import PermDiagLinear
+
+        model = build_alexnet_fc(scale=64, dropout=0.0, rng=0)
+        with sanitize() as s:
+            server = ModelServer.from_model(model, num_shards=2)
+            pd_layers = [
+                m for m in model.modules() if isinstance(m, PermDiagLinear)
+            ]
+            assert len(pd_layers) == len(server.layers)
+            for module, sharded in zip(pd_layers, server.layers):
+                for shard in sharded.shards:
+                    assert np.shares_memory(shard.data, module.weight.value)
+            expected_checks = sum(l.num_shards for l in server.layers)
+            assert s.stats.shard_checks == expected_checks
+
+    def test_in_place_weight_update_visible_to_serving(self):
+        from repro.models import build_alexnet_fc
+        from repro.nn import PermDiagLinear
+
+        model = build_alexnet_fc(scale=64, dropout=0.0, rng=0)
+        server = ModelServer.from_model(model, num_shards=2)
+        xs = _requests(3, server.in_features)
+        # mutate weights in place *after* the server was built
+        for module in model.modules():
+            if isinstance(module, PermDiagLinear):
+                module.weight.value *= 0.5
+        server.submit_many(xs)
+        report = server.drain()
+        model.eval()
+        np.testing.assert_allclose(
+            np.stack(report.outputs), model.forward(xs), atol=1e-10
+        )

@@ -1,64 +1,40 @@
 #!/usr/bin/env python
-"""Docs lint: every relative link in the markdown docs must resolve.
+"""Compatibility wrapper: the docs check now lives in ``tools.repro_lint``.
 
-Scans README.md, docs/**/*.md and CHANGES.md for inline markdown links and
-images (``[text](target)`` / ``![alt](target)``), resolves relative
-targets against the containing file, and fails listing every target that
-does not exist.  External (``http(s)://``, ``mailto:``) and pure-anchor
-(``#...``) targets are skipped; an anchor suffix on a relative target is
-ignored when checking existence.
+``python tools/docs_lint.py [--root PATH]`` keeps working (old CI legs,
+muscle memory), but the implementation is
+:func:`tools.repro_lint.docs.check_docs` and the canonical invocation is::
 
-Usage::
+    python -m tools.repro_lint --docs
 
-    python tools/docs_lint.py [--root PATH]
-
-Exit status is 0 when all links resolve, 1 otherwise -- suitable for CI.
+Exit status is 0 when all links resolve, 1 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
-import re
 import sys
 from pathlib import Path
 
-# Inline markdown link/image: [text](target) -- stops at whitespace or a
-# closing parenthesis inside the target, which is enough for these docs.
-_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
-_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+# Running as a script puts tools/ (not the repo root) on sys.path; the
+# package import below needs the root.
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
-
-def _doc_files(root: Path) -> list[Path]:
-    files = [root / "README.md", root / "CHANGES.md"]
-    files.extend(sorted((root / "docs").glob("**/*.md")))
-    return [path for path in files if path.is_file()]
-
-
-def _strip_code_spans(text: str) -> str:
-    """Drop fenced and inline code so example links are not linted."""
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    return re.sub(r"`[^`]*`", "", text)
+from tools.repro_lint.docs import check_docs, doc_files  # noqa: E402
+from tools.repro_lint.framework import format_finding  # noqa: E402
 
 
 def check_links(root: Path) -> list[str]:
-    """All broken relative links under ``root``, as printable messages."""
-    problems = []
-    for doc in _doc_files(root):
-        body = _strip_code_spans(doc.read_text(encoding="utf-8"))
-        for match in _LINK_RE.finditer(body):
-            target = match.group(1)
-            if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
-                continue
-            path_part = target.split("#", 1)[0]
-            if not path_part:
-                continue
-            resolved = (doc.parent / path_part).resolve()
-            if not resolved.exists():
-                problems.append(
-                    f"{doc.relative_to(root)}: broken link -> {target}"
-                )
-    return problems
+    """All broken relative links under ``root``, as printable messages.
+
+    Retained for callers of the old API; formatting now matches the
+    unified linter (``path:line:col: RPR900 [docs-broken-link] ...``).
+    """
+    findings, _ = check_docs(root)
+    return [format_finding(finding) for finding in findings]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -66,21 +42,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--root",
         type=Path,
-        default=Path(__file__).resolve().parent.parent,
+        default=_REPO_ROOT,
         help="repository root to lint (default: this checkout)",
     )
     args = parser.parse_args(argv)
-    docs = _doc_files(args.root)
+    docs = doc_files(args.root)
     if not docs:
         print("docs_lint: no markdown files found", file=sys.stderr)
         return 1
     problems = check_links(args.root)
     for problem in problems:
         print(problem, file=sys.stderr)
-    checked = ", ".join(str(d.relative_to(args.root)) for d in docs)
     if problems:
         print(f"docs_lint: {len(problems)} broken link(s)", file=sys.stderr)
         return 1
+    checked = ", ".join(str(d.relative_to(args.root)) for d in docs)
     print(f"docs_lint: OK ({checked})")
     return 0
 

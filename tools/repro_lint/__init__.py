@@ -1,0 +1,34 @@
+"""``repro-lint``: AST-based invariant checker for the PermDNN stack.
+
+A small rule framework (:mod:`tools.repro_lint.framework`) plus the
+project's invariants as ``RPR0xx`` rules (:mod:`tools.repro_lint.rules`)
+and the markdown docs check (:mod:`tools.repro_lint.docs`), behind one
+CLI::
+
+    python -m tools.repro_lint src benchmarks tools [--docs] [--json]
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule table and rationale; the
+runtime counterpart (aliasing sanitizer) lives in
+``src/repro/debug/sanitizer.py``.
+"""
+
+from tools.repro_lint import rules  # noqa: F401  (registers the rule set)
+from tools.repro_lint.cli import main
+from tools.repro_lint.docs import check_docs
+from tools.repro_lint.framework import (
+    Finding,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "check_docs",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

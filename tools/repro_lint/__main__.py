@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m tools.repro_lint``."""
+
+import sys
+
+from tools.repro_lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

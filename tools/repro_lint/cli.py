@@ -1,0 +1,130 @@
+"""``repro-lint`` command line: one analysis entry point for CI.
+
+Usage::
+
+    python -m tools.repro_lint src benchmarks tools       # python rules
+    python -m tools.repro_lint --docs                     # docs links only
+    python -m tools.repro_lint src tools --docs --json    # both, as JSON
+    python -m tools.repro_lint --list-rules               # rule table
+
+Exit status: 0 when clean, 1 on findings, 2 on usage errors -- suitable
+for CI.  ``--select``/``--ignore`` take comma-separated rule codes;
+per-line suppression uses ``# noqa: RPR0xx``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.repro_lint import rules as _rules  # noqa: F401  (registers rules)
+from tools.repro_lint.docs import check_docs
+from tools.repro_lint.framework import (
+    all_rules,
+    findings_to_json,
+    format_finding,
+    lint_paths,
+)
+
+__all__ = ["build_parser", "main"]
+
+_DEFAULT_PATHS = ("src", "benchmarks", "tools")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the PermDNN stack",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default when no --docs: "
+             f"{' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent.parent,
+        help="repository root (default: this checkout)",
+    )
+    parser.add_argument(
+        "--docs",
+        action="store_true",
+        help="also check markdown docs links (alone: docs only)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    parser.add_argument(
+        "--select", default="", help="comma-separated rule codes to run"
+    )
+    parser.add_argument(
+        "--ignore", default="", help="comma-separated rule codes to skip"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    return parser
+
+
+def _codes(raw: str) -> set[str] | None:
+    codes = {code.strip().upper() for code in raw.split(",") if code.strip()}
+    return codes or None
+
+
+def _print_rules() -> None:
+    print(f"{'code':<8} {'name':<26} invariant")
+    for rule in all_rules():
+        print(f"{rule.code:<8} {rule.name:<26} {rule.invariant}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"repro-lint: root {root} is not a directory", file=sys.stderr)
+        return 2
+    run_code = bool(args.paths) or not args.docs
+    findings = []
+    files_checked = 0
+    if run_code:
+        paths = [Path(p) for p in (args.paths or _DEFAULT_PATHS)]
+        missing = [
+            p for p in paths if not (p if p.is_absolute() else root / p).exists()
+        ]
+        if missing:
+            print(
+                f"repro-lint: no such path(s): "
+                f"{', '.join(str(p) for p in missing)}",
+                file=sys.stderr,
+            )
+            return 2
+        findings, files_checked = lint_paths(
+            paths, root, select=_codes(args.select), ignore=_codes(args.ignore)
+        )
+    if args.docs:
+        doc_findings, doc_count = check_docs(root)
+        findings = sorted(findings + doc_findings, key=lambda f: f.sort_key())
+        files_checked += doc_count
+    if args.json:
+        sys.stdout.write(findings_to_json(findings, files_checked, root))
+    else:
+        for finding in findings:
+            print(format_finding(finding))
+        summary = (
+            f"repro-lint: {len(findings)} finding(s) in "
+            f"{files_checked} file(s)"
+        )
+        print(summary if findings else f"repro-lint: OK ({files_checked} files)",
+              file=sys.stderr if findings else sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

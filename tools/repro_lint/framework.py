@@ -1,0 +1,351 @@
+"""Core machinery of ``repro-lint``: findings, rules, noqa, file walking.
+
+The linter is a thin AST pass: every :class:`Rule` receives a parsed
+:class:`FileContext` and yields :class:`Finding` objects.  Rules are
+registered declaratively (:func:`register`) and scoped by repo-relative
+path prefixes, so ``tools/repro_lint/rules.py`` reads as a table of the
+project's invariants rather than a visitor zoo.
+
+Suppression follows the flake8 convention: a ``# noqa`` comment on the
+flagged line silences every rule, ``# noqa: RPR001`` (comma-separated
+codes allowed) silences specific ones.  Suppressions are matched against
+the *physical line of the finding* (``node.lineno``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "findings_to_json",
+    "format_finding",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+# Wire-format version of the --json payload (bump on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+# Finding emitted when a file cannot be parsed at all.
+SYNTAX_ERROR_CODE = "RPR000"
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?P<codes>:\s*[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)?",
+    re.IGNORECASE,
+)
+_CODE_RE = re.compile(r"[A-Z]{3}\d{3}", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str
+    rule: str
+    message: str
+    path: str  # repo-relative, posix separators
+    line: int  # 1-indexed
+    col: int  # 0-indexed, matching ast
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one file: source, lines, AST, path."""
+
+    rel: str  # repo-relative posix path, e.g. "src/repro/serve/server.py"
+    source: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, rel: str, source: str) -> "FileContext":
+        tree = ast.parse(source)
+        return cls(rel=rel, source=source, tree=tree, lines=source.splitlines())
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when the finding's line carries a matching ``# noqa``."""
+        if not (1 <= finding.line <= len(self.lines)):
+            return False
+        match = _NOQA_RE.search(self.lines[finding.line - 1])
+        if match is None:
+            return False
+        codes = match.group("codes")
+        if codes is None:
+            return True  # bare noqa silences everything
+        listed = {c.upper() for c in _CODE_RE.findall(codes)}
+        return finding.code.upper() in listed
+
+
+class Rule:
+    """One project invariant, checked over a parsed file.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scope`` / ``exempt`` are repo-relative posix path prefixes (a file
+    matches when its path starts with any prefix; an empty ``scope``
+    means every file).
+    """
+
+    code: str = ""
+    name: str = ""
+    invariant: str = ""
+    rationale: str = ""
+    scope: tuple[str, ...] = ()
+    exempt: tuple[str, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        if any(rel.startswith(prefix) for prefix in self.exempt):
+            return False
+        if not self.scope:
+            return True
+        return any(rel.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            rule=self.name,
+            message=message,
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+_REGISTRY: list[Rule] = []
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding a rule instance to the global registry."""
+    rule = rule_cls()
+    if not rule.code or not rule.name:
+        raise ValueError(f"rule {rule_cls.__name__} must define code and name")
+    if any(existing.code == rule.code for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY.append(rule)
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by code."""
+    return sorted(_REGISTRY, key=lambda rule: rule.code)
+
+
+def _selected(rules: Iterable[Rule], select: set[str] | None,
+              ignore: set[str] | None) -> list[Rule]:
+    chosen = list(rules)
+    if select:
+        chosen = [rule for rule in chosen if rule.code in select]
+    if ignore:
+        chosen = [rule for rule in chosen if rule.code not in ignore]
+    return chosen
+
+
+def lint_source(
+    source: str,
+    rel: str,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string as if it lived at repo-relative ``rel``.
+
+    This is the test-friendly entry point: fixtures lint synthetic
+    snippets under virtual paths (rule scoping keys off ``rel``).
+    """
+    try:
+        ctx = FileContext.parse(rel, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code=SYNTAX_ERROR_CODE,
+                rule="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in _selected(all_rules(), select, ignore):
+        if not rule.applies_to(rel):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def iter_python_files(paths: list[Path], root: Path) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, sorted, skipping caches."""
+    seen: set[Path] = set()
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            continue
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: list[Path],
+    root: Path,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint every python file under ``paths``.
+
+    Returns:
+        ``(findings, files_checked)``; findings are globally sorted.
+    """
+    findings: list[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths, root):
+        checked += 1
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        findings.extend(
+            lint_source(
+                path.read_text(encoding="utf-8"), rel,
+                select=select, ignore=ignore,
+            )
+        )
+    findings.sort(key=Finding.sort_key)
+    return findings, checked
+
+
+def format_finding(finding: Finding) -> str:
+    return (
+        f"{finding.path}:{finding.line}:{finding.col + 1}: "
+        f"{finding.code} [{finding.rule}] {finding.message}"
+    )
+
+
+def findings_to_json(
+    findings: list[Finding], files_checked: int, root: Path
+) -> str:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "root": str(root),
+        "files_checked": files_checked,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers for the rules
+# ----------------------------------------------------------------------
+
+
+def name_hints(node: ast.AST) -> set[str]:
+    """Lower-cased identifier fragments reachable from an expression.
+
+    Collects plain names and attribute names from ``Name``/``Attribute``/
+    ``Call``/``Subscript``/``BinOp`` chains -- the heuristic the
+    structured-matrix rules use to decide whether an operand *looks like*
+    PD-matrix state without type inference.
+    """
+    hints: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            hints.add(sub.id.lower())
+        elif isinstance(sub, ast.Attribute):
+            hints.add(sub.attr.lower())
+    return hints
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def statements_with_conditionality(
+    body: list[ast.stmt],
+    conditional: bool = False,
+) -> Iterator[tuple[ast.stmt, bool]]:
+    """Yield ``(statement, is_conditional)`` over a statement tree.
+
+    A statement is *conditional* when any enclosing block is an ``if`` /
+    ``elif`` / ``else`` / ``try`` arm; plain loop bodies count as
+    unconditional (the linter cannot prove loop trip counts, so it gives
+    loops the benefit of the doubt).
+    """
+    for stmt in body:
+        yield stmt, conditional
+        if isinstance(stmt, ast.If):
+            yield from statements_with_conditionality(stmt.body, True)
+            yield from statements_with_conditionality(stmt.orelse, True)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            yield from statements_with_conditionality(stmt.body, conditional)
+            yield from statements_with_conditionality(stmt.orelse, True)
+        elif isinstance(stmt, ast.Try):
+            yield from statements_with_conditionality(stmt.body, True)
+            for handler in stmt.handlers:
+                yield from statements_with_conditionality(handler.body, True)
+            yield from statements_with_conditionality(stmt.orelse, True)
+            yield from statements_with_conditionality(stmt.finalbody, conditional)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            yield from statements_with_conditionality(stmt.body, conditional)
