@@ -11,11 +11,22 @@ The tracked acceptance point is the 4-shard row: ``speedup >= 2.0`` on the
 full-scale stack (the script exits non-zero below that bar, or on any
 output mismatch).
 
+``--open-loop`` switches to the tail-latency study: seeded Poisson /
+bursty / diurnal arrival streams drive the 4-shard stack across offered
+loads, reporting p50/p90/p99 latency vs offered load, the max sustainable
+QPS under a p99 SLO (knee found by bisection), and graceful degradation
+under 2x-knee overload with a bounded queue (reject-newest shedding).
+Exit is non-zero on any admitted-output mismatch vs the single-engine
+baseline, a missing knee, or an SLO miss under shedding.  Methodology in
+``docs/BENCHMARKS.md``.
+
 Usage::
 
     python benchmarks/bench_serving.py            # full scale, shards 1/2/4/8
     python benchmarks/bench_serving.py --smoke    # CI canary (scale 1/8)
     python benchmarks/bench_serving.py --shards 4 --requests 64
+    python benchmarks/bench_serving.py --open-loop            # latency vs load
+    python benchmarks/bench_serving.py --open-loop --smoke    # CI canary
 """
 
 from __future__ import annotations
@@ -25,7 +36,11 @@ import sys
 import time
 
 from _common import emit, format_table
-from repro.serve import run_serving_sweep
+from repro.serve import (
+    format_open_loop_report,
+    run_open_loop_sweep,
+    run_serving_sweep,
+)
 
 FULL_SHARDS = (1, 2, 4, 8)
 SMOKE_SHARDS = (1, 4)
@@ -33,6 +48,43 @@ SMOKE_SHARDS = (1, 4)
 # The acceptance criterion is pinned to this shard count.
 ACCEPTANCE_SHARDS = 4
 ACCEPTANCE_SPEEDUP = 2.0
+
+OPEN_LOOP_ARRIVALS = ("poisson", "bursty", "diurnal")
+
+
+def run_open_loop(args) -> int:
+    """The ``--open-loop`` path: latency percentiles vs offered load."""
+    smoke = args.smoke
+    scale = args.scale if args.scale is not None else (8 if smoke else 1)
+    # The window doubles as the measurement length for knee evaluations:
+    # it must be long enough for queueing past saturation to express
+    # (see run_open_loop_sweep), hence the large full-scale default.
+    requests = (
+        args.requests if args.requests is not None else (16 if smoke else 256)
+    )
+    start = time.perf_counter()
+    report = run_open_loop_sweep(
+        arrivals=OPEN_LOOP_ARRIVALS,
+        load_fractions=(0.5, 1.0) if smoke else (0.5, 0.8, 1.0, 1.3),
+        num_requests=requests,
+        num_shards=ACCEPTANCE_SHARDS,
+        scale=scale,
+        seed=args.seed,
+        slo_us=args.slo_us,
+        max_batch_size=args.max_batch,
+        flush_deadline_us=args.deadline_us,
+        knee_iters=5 if smoke else 8,
+    )
+    wall = time.perf_counter() - start
+    text = format_open_loop_report(report) + f"\n\n(wall time {wall:.1f}s)"
+    emit(
+        "bench_serving_openloop_smoke" if smoke else "bench_serving_openloop",
+        text,
+    )
+    failures = report.failures()
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main() -> int:
@@ -47,7 +99,17 @@ def main() -> int:
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument("--deadline-us", type=float, default=50.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--open-loop", action="store_true",
+                        help="tail-latency study under open-loop arrivals "
+                             "(Poisson/bursty/diurnal) instead of the "
+                             "closed-loop shard sweep")
+    parser.add_argument("--slo-us", type=float, default=None,
+                        help="p99 SLO for knee finding (open-loop mode; "
+                             "default 2x the unloaded p99)")
     args = parser.parse_args()
+
+    if args.open_loop:
+        return run_open_loop(args)
 
     scale = args.scale if args.scale is not None else (8 if args.smoke else 1)
     requests = (

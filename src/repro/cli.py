@@ -8,6 +8,7 @@ Usage (module form):
     python -m repro.cli scale       --workload NMT-1
     python -m repro.cli memory      --sram-mb 16
     python -m repro.cli serve-bench --shards 4 [--requests 32] [--scale 1]
+    python -m repro.cli serve-bench --arrivals poisson [--slo-us 150] [--load 0.8]
 
 The kernel backend used for the numerical products can also be selected
 process-wide with the ``REPRO_BACKEND`` environment variable
@@ -141,6 +142,8 @@ def _cmd_memory(args) -> int:
 def _cmd_serve_bench(args) -> int:
     from repro.serve import format_report, run_serving_benchmark
 
+    if args.arrivals:
+        return _cmd_serve_bench_open_loop(args)
     report = run_serving_benchmark(
         num_shards=args.shards,
         num_requests=args.requests,
@@ -153,6 +156,27 @@ def _cmd_serve_bench(args) -> int:
     # A sharded/unsharded mismatch is a correctness failure, not a perf
     # number -- make it visible to scripts.
     return 0 if report.outputs_match else 1
+
+
+def _cmd_serve_bench_open_loop(args) -> int:
+    from repro.serve import format_open_loop_report, run_open_loop_sweep
+
+    report = run_open_loop_sweep(
+        arrivals=tuple(args.arrivals),
+        load_fractions=tuple(args.load or (0.5, 0.8, 1.0, 1.3)),
+        num_requests=args.requests,
+        num_shards=args.shards,
+        scale=args.scale,
+        seed=args.seed,
+        slo_us=args.slo_us,
+        max_batch_size=args.max_batch,
+        flush_deadline_us=args.deadline_us,
+    )
+    print(format_open_loop_report(report))
+    failures = report.failures()
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--scale", type=int, default=1,
                      help="divide the AlexNet-FC widths by this factor")
     srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--arrivals", action="append", default=None,
+                     choices=["deterministic", "poisson", "bursty", "diurnal"],
+                     help="open-loop mode: measure latency percentiles vs "
+                          "offered load under this arrival process "
+                          "(repeatable; omit for the closed-loop benchmark)")
+    srv.add_argument("--load", type=float, action="append", default=None,
+                     help="offered-load fraction of closed-loop capacity "
+                          "(repeatable; open-loop mode only)")
+    srv.add_argument("--slo-us", type=float, default=None,
+                     help="p99 SLO for knee finding in microseconds "
+                          "(default: 2x the unloaded p99)")
     srv.set_defaults(func=_cmd_serve_bench)
     return parser
 
@@ -215,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
     """
     from repro.core import BackendUnavailableError, UnknownBackendError
     from repro.hw import UnknownWorkloadError
+    from repro.serve import UnknownArrivalProcessError
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -224,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
         UnknownWorkloadError,
         UnknownBackendError,
         BackendUnavailableError,
+        UnknownArrivalProcessError,
     ) as exc:
         # Only user-input errors become clean exits; genuine library bugs
         # (arbitrary ValueError and friends) keep their tracebacks.

@@ -8,23 +8,37 @@ storage).  Requests flow through a micro-batching queue and micro-batches
 pipeline between the per-layer shard arrays.
 
 - :class:`ModelServer` -- submit / submit_many / drain front end with
-  per-layer, per-shard and per-request statistics.
+  per-layer, per-shard and per-request statistics, plus admission
+  control (bounded queue, reject-newest shedding) for graceful
+  degradation past the saturation knee.
 - :class:`ShardedLayer` -- one layer split across shard engines.
-- :class:`MicroBatcher` / :class:`Request` / :class:`MicroBatch` -- the
-  deterministic, order-preserving batching queue.
+- :class:`MicroBatcher` / :class:`BatchAssembler` / :class:`Request` /
+  :class:`MicroBatch` -- the deterministic, order-preserving batching
+  queue (offline plan and streaming forms).
+- :mod:`repro.serve.traffic` -- seeded open-loop arrival processes
+  (deterministic / Poisson / bursty / diurnal) for tail-latency
+  benchmarking.
 - :func:`export_sharded_bundle` / :func:`load_sharded_bundle` -- one
   engine image per shard plus a manifest; cold starts never recompute
   index arithmetic.
-- :func:`run_serving_benchmark` -- the sharded-vs-baseline measurement
-  behind ``repro serve-bench`` and ``benchmarks/bench_serving.py``.
+- :func:`run_serving_benchmark` / :func:`run_open_loop_sweep` -- the
+  closed-loop and open-loop measurements behind ``repro serve-bench``
+  and ``benchmarks/bench_serving.py``, including
+  :func:`max_sustainable_qps` knee finding under an SLO.
 """
 
-from repro.serve.batching import MicroBatch, MicroBatcher, Request
+from repro.serve.batching import BatchAssembler, MicroBatch, MicroBatcher, Request
 from repro.serve.bench import (
+    OpenLoopPoint,
+    OpenLoopReport,
     ServingBenchReport,
     build_alexnet_fc_stack,
+    format_open_loop_report,
     format_report,
     make_requests,
+    max_sustainable_qps,
+    run_open_loop_point,
+    run_open_loop_sweep,
     run_serving_benchmark,
     run_serving_sweep,
 )
@@ -34,27 +48,54 @@ from repro.serve.bundle import (
     load_sharded_bundle,
 )
 from repro.serve.server import (
+    EmptyServeReportError,
     LayerShardStats,
     ModelServer,
     ServeReport,
     ShardedLayer,
 )
+from repro.serve.traffic import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    UnknownArrivalProcessError,
+    arrival_process_names,
+    make_arrival_process,
+)
 
 __all__ = [
+    "ArrivalProcess",
+    "BatchAssembler",
+    "BurstyArrivals",
+    "DeterministicArrivals",
+    "DiurnalArrivals",
+    "EmptyServeReportError",
     "LayerShardStats",
     "MicroBatch",
     "MicroBatcher",
     "ModelServer",
+    "OpenLoopPoint",
+    "OpenLoopReport",
+    "PoissonArrivals",
     "Request",
     "ServeReport",
     "ServingBenchReport",
     "ShardedLayer",
+    "UnknownArrivalProcessError",
+    "arrival_process_names",
     "build_alexnet_fc_stack",
     "export_model_bundle",
     "export_sharded_bundle",
+    "format_open_loop_report",
     "format_report",
     "load_sharded_bundle",
     "make_requests",
+    "make_arrival_process",
+    "max_sustainable_qps",
+    "run_open_loop_point",
+    "run_open_loop_sweep",
     "run_serving_benchmark",
     "run_serving_sweep",
 ]

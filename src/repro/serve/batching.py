@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MicroBatch", "MicroBatcher", "Request"]
+__all__ = ["BatchAssembler", "MicroBatch", "MicroBatcher", "Request"]
 
 
 @dataclass(frozen=True)
@@ -85,28 +85,24 @@ class MicroBatcher:
         Requests must be in non-decreasing ``arrival_us`` order (the
         server's submission queue guarantees it); batches keep that order,
         so concatenating the batches reproduces the request sequence.
+
+        The plan honors arrival timestamps: a batch is never stamped
+        ready before its last member arrived -- a full batch closes at
+        its last arrival, and a deadline flush (``open + deadline``) by
+        construction postdates every member it covers.
         """
+        assembler = self.assembler()
         batches: list[MicroBatch] = []
-        pending: list[Request] = []
         for request in requests:
-            if pending and request.arrival_us < pending[-1].arrival_us:
-                raise ValueError(
-                    "requests must be ordered by non-decreasing arrival time"
-                )
-            if (
-                pending
-                and request.arrival_us
-                > pending[0].arrival_us + self.flush_deadline_us
-            ):
-                batches.append(self._close(pending, full=False))
-                pending = []
-            pending.append(request)
-            if len(pending) == self.max_batch_size:
-                batches.append(self._close(pending, full=True))
-                pending = []
-        if pending:
-            batches.append(self._close(pending, full=False))
+            batches.extend(assembler.offer(request))
+        tail = assembler.finish()
+        if tail is not None:
+            batches.append(tail)
         return batches
+
+    def assembler(self) -> "BatchAssembler":
+        """An online former with this batcher's policy (see below)."""
+        return BatchAssembler(self)
 
     def _close(self, pending: list[Request], full: bool) -> MicroBatch:
         if full:
@@ -114,3 +110,80 @@ class MicroBatcher:
         else:
             ready = pending[0].arrival_us + self.flush_deadline_us
         return MicroBatch(tuple(pending), ready_us=ready)
+
+
+class BatchAssembler:
+    """Streaming micro-batch former -- :meth:`MicroBatcher.plan`, one
+    request at a time.
+
+    ``plan`` is implemented on top of this class, so the two can never
+    drift; the point of the streaming form is
+    :meth:`~repro.serve.ModelServer.drain`, which must interleave batch
+    formation with admission control (a shed decision needs to know the
+    in-flight population *at that request's arrival instant*, which means
+    deadline flushes of earlier batches have to be applied first).
+
+    Typical loop::
+
+        assembler = batcher.assembler()
+        for request in requests:
+            run(assembler.poll(request.arrival_us))   # deadline flush
+            if admit(request):
+                run(*assembler.offer(request))        # fill flush
+        run(assembler.finish())                       # tail flush
+    """
+
+    def __init__(self, batcher: MicroBatcher) -> None:
+        self._batcher = batcher
+        self._pending: list[Request] = []
+
+    @property
+    def pending_count(self) -> int:
+        """Requests sitting in the currently-forming batch."""
+        return len(self._pending)
+
+    def poll(self, now_us: float) -> MicroBatch | None:
+        """Close the forming batch if ``now_us`` is past its deadline.
+
+        Idempotent: once the batch flushed (or none is forming), further
+        polls at the same instant return ``None``.
+        """
+        if (
+            self._pending
+            and now_us
+            > self._pending[0].arrival_us + self._batcher.flush_deadline_us
+        ):
+            return self._flush(full=False)
+        return None
+
+    def offer(self, request: Request) -> list[MicroBatch]:
+        """Admit one request; returns every batch this closed (0..2).
+
+        A request arriving past the forming batch's deadline first
+        flushes that batch (same as :meth:`poll`), then opens a new one;
+        filling the batch to ``max_batch_size`` closes it at the
+        request's own arrival time.
+        """
+        closed: list[MicroBatch] = []
+        flushed = self.poll(request.arrival_us)
+        if flushed is not None:
+            closed.append(flushed)
+        if self._pending and request.arrival_us < self._pending[-1].arrival_us:
+            raise ValueError(
+                "requests must be ordered by non-decreasing arrival time"
+            )
+        self._pending.append(request)
+        if len(self._pending) == self._batcher.max_batch_size:
+            closed.append(self._flush(full=True))
+        return closed
+
+    def finish(self) -> MicroBatch | None:
+        """Flush the tail batch (stream over); ``None`` if empty."""
+        if self._pending:
+            return self._flush(full=False)
+        return None
+
+    def _flush(self, full: bool) -> MicroBatch:
+        batch = self._batcher._close(self._pending, full=full)
+        self._pending = []
+        return batch

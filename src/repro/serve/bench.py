@@ -23,13 +23,20 @@ import numpy as np
 from repro.core import BlockPermutedDiagonalMatrix
 from repro.hw.config import EngineConfig
 from repro.hw.engine import PermDNNEngine
-from repro.serve.server import ModelServer
+from repro.serve.server import ModelServer, ServeReport
+from repro.serve.traffic import US_PER_S, make_arrival_process
 
 __all__ = [
+    "OpenLoopPoint",
+    "OpenLoopReport",
     "ServingBenchReport",
     "build_alexnet_fc_stack",
+    "format_open_loop_report",
     "format_report",
     "make_requests",
+    "max_sustainable_qps",
+    "run_open_loop_point",
+    "run_open_loop_sweep",
     "run_serving_benchmark",
     "run_serving_sweep",
 ]
@@ -221,6 +228,432 @@ def run_serving_benchmark(
         seed=seed,
         config=config,
     )[0]
+
+
+# ---------------------------------------------------------------------------
+# Open-loop: arrival processes, tail-latency SLOs, knee finding, shedding.
+
+
+@dataclass
+class OpenLoopPoint:
+    """One open-loop measurement: a process at one offered load.
+
+    ``outputs_match`` asserts the bit-for-bit contract on the admitted
+    subset: the sharded pipeline's per-request outputs equal the
+    single-engine baseline rows for exactly those requests (row outputs
+    are independent of batch composition, so the subset comparison is
+    exact, not approximate).
+    """
+
+    process: str
+    offered_qps: float
+    num_requests: int
+    num_admitted: int
+    num_shed: int
+    achieved_qps: float
+    p50_us: float
+    p90_us: float
+    p99_us: float
+    queue_p99_us: float
+    outputs_match: bool
+    queue_capacity: int | None = None
+
+
+@dataclass
+class OpenLoopReport:
+    """A full open-loop study of one serving stack.
+
+    ``capacity_qps`` is the steady-state pipeline capacity
+    (``max_batch`` over the bottleneck stage time of one full
+    micro-batch), the natural anchor for offered-load fractions;
+    ``slo_us`` is the p``slo_q`` target, by default twice the unloaded
+    tail latency; ``knees`` maps each arrival process to its max
+    sustainable QPS under the SLO; ``shed_points`` re-runs each process
+    at ``overload x knee`` with a bounded queue to show graceful
+    degradation.
+    """
+
+    scale: int
+    num_requests: int
+    num_shards: int
+    max_batch_size: int
+    flush_deadline_us: float
+    seed: int
+    baseline_rps: float
+    capacity_qps: float
+    unloaded_p99_us: float
+    slo_us: float
+    slo_q: float
+    points: list[OpenLoopPoint] = field(default_factory=list)
+    knees: dict[str, float] = field(default_factory=dict)
+    shed_points: list[OpenLoopPoint] = field(default_factory=list)
+    # Upper bracket of the knee search; a knee at the ceiling means the
+    # stack sustains every load in range (the knee lies above it).
+    knee_ceiling_qps: float = 0.0
+
+    def failures(self) -> list[str]:
+        """Everything that should make a benchmark run exit non-zero."""
+        problems = []
+        for point in self.points + self.shed_points:
+            if not point.outputs_match:
+                problems.append(
+                    f"{point.process} @ {point.offered_qps:,.0f} qps: "
+                    "outputs diverge from the single-engine baseline"
+                )
+        for process, knee in self.knees.items():
+            if knee <= 0:
+                problems.append(
+                    f"{process}: no sustainable load meets the "
+                    f"p{self.slo_q:g} <= {self.slo_us:.1f} us SLO"
+                )
+        for point in self.shed_points:
+            if point.num_admitted and point.p99_us > self.slo_us:
+                problems.append(
+                    f"{point.process} overload with shedding: admitted "
+                    f"p99 {point.p99_us:.1f} us exceeds the "
+                    f"{self.slo_us:.1f} us SLO"
+                )
+        return problems
+
+
+def max_sustainable_qps(
+    measure,
+    slo_us: float,
+    lo_qps: float,
+    hi_qps: float,
+    iters: int = 9,
+) -> float:
+    """Largest offered load whose measured tail latency meets the SLO.
+
+    Bisection over ``[lo_qps, hi_qps]``: ``measure(qps)`` returns the
+    tail-latency statistic (e.g. seeded open-loop p99 in microseconds)
+    at that offered load, and the knee is the largest load with
+    ``measure(qps) <= slo_us``.  Queueing delay grows monotonically with
+    load around the knee, which is what bisection relies on; with seeded
+    generators the whole search is deterministic.
+
+    Returns ``0.0`` when even ``lo_qps`` misses the SLO and ``hi_qps``
+    when the whole range meets it (the knee lies above the bracket).
+    """
+    if slo_us <= 0:
+        raise ValueError(f"slo_us must be positive, got {slo_us}")
+    if not 0 < lo_qps < hi_qps:
+        raise ValueError(
+            f"need 0 < lo_qps < hi_qps, got [{lo_qps}, {hi_qps}]"
+        )
+    if measure(lo_qps) > slo_us:
+        return 0.0
+    if measure(hi_qps) <= slo_us:
+        return hi_qps
+    lo, hi = lo_qps, hi_qps
+    for _ in range(iters):
+        mid = 0.5 * (lo + hi)
+        if measure(mid) <= slo_us:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def run_open_loop_point(
+    layers,
+    xs: np.ndarray,
+    baseline_outputs: np.ndarray,
+    process: str,
+    offered_qps: float,
+    num_shards: int = 4,
+    seed: int = 0,
+    max_batch_size: int = 16,
+    flush_deadline_us: float = 50.0,
+    queue_capacity: int | None = None,
+    config: EngineConfig | None = None,
+    arrival_kwargs: dict | None = None,
+) -> tuple[OpenLoopPoint, ServeReport]:
+    """Drive one arrival stream through a fresh server and measure it.
+
+    The arrival stream is generated by ``process`` at ``offered_qps``
+    with the given seed, so the measurement (down to the per-request
+    latency trace) is a pure function of the arguments.  Admitted
+    outputs are compared bit-for-bit against the corresponding
+    ``baseline_outputs`` rows.
+    """
+    proc = make_arrival_process(
+        process, offered_qps, seed=seed, **(arrival_kwargs or {})
+    )
+    arrivals = proc.generate(xs.shape[0])
+    server = ModelServer(
+        layers,
+        num_shards=num_shards,
+        config=config,
+        max_batch_size=max_batch_size,
+        flush_deadline_us=flush_deadline_us,
+        queue_capacity=queue_capacity,
+    )
+    rids = server.submit_many(xs, arrivals_us=arrivals)
+    report = server.drain()
+    shed = set(report.shed_rids)
+    admitted_rows = [row for row, rid in enumerate(rids) if rid not in shed]
+    if report.num_requests:
+        expected = baseline_outputs[admitted_rows]
+        outputs_match = bool(
+            np.array_equal(np.stack(report.outputs), expected)
+        )
+        p50, p90, p99 = report.percentile_curve((50.0, 90.0, 99.0))
+        queue_p99 = report.latency_percentile(99.0, which="queue")
+    else:
+        outputs_match = True
+        p50 = p90 = p99 = queue_p99 = float("nan")
+    point = OpenLoopPoint(
+        process=process,
+        offered_qps=offered_qps,
+        num_requests=xs.shape[0],
+        num_admitted=report.num_requests,
+        num_shed=report.num_shed,
+        achieved_qps=report.throughput_rps,
+        p50_us=float(p50),
+        p90_us=float(p90),
+        p99_us=float(p99),
+        queue_p99_us=float(queue_p99),
+        outputs_match=outputs_match,
+        queue_capacity=queue_capacity,
+    )
+    return point, report
+
+
+def run_open_loop_sweep(
+    arrivals: tuple[str, ...] = ("poisson", "bursty", "diurnal"),
+    load_fractions: tuple[float, ...] = (0.5, 0.8, 1.0, 1.3),
+    num_requests: int = 48,
+    num_shards: int = 4,
+    scale: int = 1,
+    seed: int = 0,
+    slo_us: float | None = None,
+    slo_q: float = 99.0,
+    max_batch_size: int = 16,
+    flush_deadline_us: float = 50.0,
+    config: EngineConfig | None = None,
+    knee_iters: int = 9,
+    find_knee: bool = True,
+    overload_factor: float | None = 2.0,
+) -> OpenLoopReport:
+    """The full open-loop study behind ``bench_serving.py --open-loop``.
+
+    Methodology (documented in ``docs/BENCHMARKS.md``):
+
+    1. **Anchor**: steady-state pipeline capacity of the stack
+       (``capacity_qps = max_batch / bottleneck stage time``, measured
+       by draining one full micro-batch) sets the offered-load scale,
+       and the single-engine baseline outputs are computed once for the
+       bit-exactness checks.  A closed-loop burst makespan would
+       underestimate capacity badly (it charges pipeline fill and every
+       stage to a short stream); offered load only means "fraction of
+       saturation" against the bottleneck-stage rate.
+    2. **SLO**: unless given, the SLO is ``2 x`` the unloaded tail
+       latency -- a deterministic stream with inter-arrivals of twice
+       the flush deadline, so every request pays the full deadline plus
+       a singleton-batch service (the honest light-traffic latency; at
+       low rates batch-*fill* wait otherwise dominates and shrinks with
+       load, which would poison both the anchor and the knee search).
+    3. **Sweep**: every arrival process runs at each load fraction of
+       capacity with an unbounded queue, yielding
+       latency-percentile-vs-offered-load points.  ``num_requests`` is
+       the measurement window for *every* loaded point: queueing past
+       saturation accumulates over the stream, so a short window
+       under-reports tail latency and inflates the knee (a knee at the
+       search ceiling means the window never saturated; a few hundred
+       requests at full scale puts the knee near the capacity anchor).
+    4. **Knee**: per process, :func:`max_sustainable_qps` bisects
+       offered load between the unloaded rate and ``2.5 x`` capacity
+       for the largest QPS whose p``slo_q`` meets the SLO over the same
+       window.
+    5. **Shedding**: per process, re-run at ``overload_factor x knee``
+       over a ``2 x num_requests`` stream with the queue bounded to
+       ``slo x knee / 2`` in-flight requests (Little's law sizing),
+       showing admitted-request tails stay inside the SLO while the
+       excess is shed.
+
+    Every input is drawn from one seeded pool and the single-engine
+    baseline runs over the pool once; each measurement compares its
+    admitted outputs against the matching baseline rows bit for bit.
+    """
+    rng = np.random.default_rng(seed)
+    layers = build_alexnet_fc_stack(scale=scale, rng=rng)
+    # One input pool covers every measurement: sweep and knee points
+    # read the first ``num_requests`` rows, the shedding run twice that.
+    # The single-engine baseline runs over the pool once; per-request
+    # outputs are independent of batch composition, so any prefix/subset
+    # comparison stays bit-exact.
+    pool = 2 * num_requests
+    xs_pool = make_requests(layers[0][0].shape[1], pool, rng=rng)
+    xs = xs_pool[:num_requests]
+    config = config or EngineConfig()
+    cycles_per_us = config.clock_ghz * 1e3
+
+    baseline_pool, baseline_cycles = _single_engine_baseline(
+        layers, xs_pool, config
+    )
+    baseline_rps = pool / (baseline_cycles / cycles_per_us * 1e-6)
+
+    # Steady-state capacity anchor: one full micro-batch through the
+    # pipeline; the slowest layer's critical path is the stage every
+    # later batch queues behind, so saturation sits at
+    # ``max_batch / bottleneck_stage_time``.
+    probe = ModelServer(
+        layers,
+        num_shards=num_shards,
+        config=config,
+        max_batch_size=min(max_batch_size, num_requests),
+        flush_deadline_us=flush_deadline_us,
+    )
+    probe.submit_many(xs[: probe.batcher.max_batch_size])
+    probe_report = probe.drain()
+    bottleneck_us = max(probe_report.layer_cycles) / cycles_per_us
+    capacity_qps = probe.batcher.max_batch_size / (bottleneck_us * 1e-6)
+
+    def measure(
+        process: str,
+        offered_qps: float,
+        capacity=None,
+        count: int = num_requests,
+    ):
+        point, _ = run_open_loop_point(
+            layers,
+            xs_pool[:count],
+            baseline_pool[:count],
+            process,
+            offered_qps,
+            num_shards=num_shards,
+            seed=seed,
+            max_batch_size=max_batch_size,
+            flush_deadline_us=flush_deadline_us,
+            queue_capacity=capacity,
+            config=config,
+        )
+        return point
+
+    # Unloaded = singleton batches: inter-arrivals of twice the deadline
+    # make every request wait out the flush and serve alone.
+    if flush_deadline_us > 0:
+        unloaded_qps = min(
+            0.1 * capacity_qps, US_PER_S / (2.0 * flush_deadline_us)
+        )
+    else:
+        unloaded_qps = 0.1 * capacity_qps
+    unloaded_p99 = measure("deterministic", unloaded_qps).p99_us
+    if slo_us is None:
+        slo_us = 2.0 * unloaded_p99
+
+    report = OpenLoopReport(
+        scale=scale,
+        num_requests=num_requests,
+        num_shards=num_shards,
+        max_batch_size=max_batch_size,
+        flush_deadline_us=flush_deadline_us,
+        seed=seed,
+        baseline_rps=baseline_rps,
+        capacity_qps=capacity_qps,
+        unloaded_p99_us=unloaded_p99,
+        slo_us=slo_us,
+        slo_q=slo_q,
+        knee_ceiling_qps=2.5 * capacity_qps,
+    )
+    for process in arrivals:
+        for fraction in load_fractions:
+            report.points.append(measure(process, fraction * capacity_qps))
+        if not find_knee:
+            continue
+
+        def tail(qps: float, p: str = process) -> float:
+            _, drain = run_open_loop_point(
+                layers, xs_pool[:num_requests],
+                baseline_pool[:num_requests], p, qps,
+                num_shards=num_shards, seed=seed,
+                max_batch_size=max_batch_size,
+                flush_deadline_us=flush_deadline_us, config=config,
+            )
+            return drain.latency_percentile(slo_q)
+
+        knee = max_sustainable_qps(
+            tail,
+            slo_us,
+            lo_qps=unloaded_qps,
+            hi_qps=report.knee_ceiling_qps,
+            iters=knee_iters,
+        )
+        report.knees[process] = knee
+        if overload_factor and knee > 0:
+            # Little's law: in-flight bound ~ SLO x service rate keeps
+            # the queueing delay of admitted requests within the SLO;
+            # halve it for safety margin.
+            capacity_bound = max(1, int(slo_us * 1e-6 * knee * 0.5))
+            report.shed_points.append(
+                measure(
+                    process,
+                    overload_factor * knee,
+                    capacity_bound,
+                    count=2 * num_requests,
+                )
+            )
+    return report
+
+
+def format_open_loop_report(report: OpenLoopReport) -> str:
+    """The latency-percentile-vs-offered-load tables, human-readable."""
+    lines = [
+        f"open-loop serving, AlexNet-FC stack (scale 1/{report.scale}), "
+        f"{report.num_shards} shards, {report.num_requests} requests/point",
+        f"batching          : max batch {report.max_batch_size}, "
+        f"deadline {report.flush_deadline_us:.0f} us, seed {report.seed}",
+        f"capacity anchor   : {report.capacity_qps:,.0f} qps "
+        f"(bottleneck stage; {report.baseline_rps:,.0f} qps single-engine "
+        f"baseline)",
+        f"SLO               : p{report.slo_q:g} <= {report.slo_us:.1f} us "
+        f"(unloaded p99 {report.unloaded_p99_us:.1f} us)",
+        "",
+        f"{'process':<10} {'offered_qps':>12} {'load':>6} {'p50_us':>8} "
+        f"{'p90_us':>8} {'p99_us':>8} {'q_p99':>8} {'shed':>5} {'exact':>6}",
+        "-" * 78,
+    ]
+    for point in report.points:
+        load = point.offered_qps / report.capacity_qps
+        lines.append(
+            f"{point.process:<10} {point.offered_qps:>12,.0f} "
+            f"{load:>5.2f}x {point.p50_us:>8.1f} {point.p90_us:>8.1f} "
+            f"{point.p99_us:>8.1f} {point.queue_p99_us:>8.1f} "
+            f"{point.num_shed:>5d} "
+            f"{'yes' if point.outputs_match else 'NO':>6}"
+        )
+    if report.knees:
+        lines.append("")
+        for process, knee in report.knees.items():
+            ceiling = (
+                report.knee_ceiling_qps
+                and knee >= 0.999 * report.knee_ceiling_qps
+            )
+            lines.append(
+                f"knee[{process}]: max sustainable "
+                f"{knee:,.0f} qps under p{report.slo_q:g} <= "
+                f"{report.slo_us:.1f} us "
+                f"({knee / report.capacity_qps:.2f}x of capacity)"
+                + (" [>= search ceiling]" if ceiling else "")
+            )
+    if report.shed_points:
+        lines.append("")
+        lines.append(
+            "overload with load shedding (bounded queue, reject-newest):"
+        )
+        for point in report.shed_points:
+            slo_ok = point.p99_us <= report.slo_us
+            lines.append(
+                f"{point.process:<10} {point.offered_qps:>12,.0f} qps, "
+                f"queue cap {point.queue_capacity}: admitted "
+                f"{point.num_admitted}/{point.num_requests} "
+                f"(shed {point.num_shed}), admitted p99 "
+                f"{point.p99_us:.1f} us "
+                f"[{'within SLO' if slo_ok else 'SLO MISS'}], "
+                f"{'exact' if point.outputs_match else 'MISMATCH'}"
+            )
+    return "\n".join(lines)
 
 
 def format_report(report: ServingBenchReport) -> str:

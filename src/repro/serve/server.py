@@ -26,7 +26,7 @@ other ``repro.hw`` result uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -35,7 +35,17 @@ from repro.hw.config import EngineConfig
 from repro.hw.engine import PermDNNEngine
 from repro.serve.batching import MicroBatcher, Request
 
-__all__ = ["LayerShardStats", "ModelServer", "ServeReport", "ShardedLayer"]
+__all__ = [
+    "EmptyServeReportError",
+    "LayerShardStats",
+    "ModelServer",
+    "ServeReport",
+    "ShardedLayer",
+]
+
+
+class EmptyServeReportError(ValueError):
+    """Raised when percentile statistics are asked of an empty report."""
 
 
 @dataclass
@@ -47,12 +57,16 @@ class LayerShardStats:
         macs: multiply-accumulates performed.
         batches: micro-batches processed.
         samples: individual requests processed.
+        shed: requests this shard never saw because admission control
+            rejected them at the queue (accounted on the entry layer's
+            shards, which is where the work would have started).
     """
 
     cycles: int = 0
     macs: int = 0
     batches: int = 0
     samples: int = 0
+    shed: int = 0
 
 
 class ShardedLayer:
@@ -160,16 +174,28 @@ class ShardedLayer:
 class ServeReport:
     """Everything one :meth:`ModelServer.drain` produced.
 
+    Per-request latency is recorded as a queue/compute split:
+    ``queue_us`` covers arrival to the instant the request's micro-batch
+    starts computing on the entry layer (batch-formation wait plus
+    waiting for a free entry-layer engine), ``compute_us`` covers the
+    pipeline traversal, and ``latencies_us`` is their sum (completion
+    minus arrival) -- the quantity the SLO is stated against.
+
     Attributes:
-        outputs: final-layer output per request, in submission (rid) order.
-        latencies_us: per-request latency (completion minus arrival).
+        outputs: final-layer output per admitted request, in submission
+            (rid) order.
+        latencies_us: per-request total latency (completion minus arrival).
         batch_sizes: micro-batch sizes, in formation order.
-        makespan_us: first arrival to last completion.
+        makespan_us: first admitted arrival to last completion.
         throughput_rps: requests served per second of simulated time.
         layer_stats: ``(L, N)`` grid of per-(layer, shard) counters for
             this drain.
         layer_cycles: per-layer critical-path cycles (the slowest shard of
             every micro-batch, summed).
+        queue_us: per-request queueing latency (see above).
+        compute_us: per-request pipeline-compute latency (see above).
+        shed_rids: ids of requests rejected by admission control, in
+            arrival order; always empty on an unbounded queue.
     """
 
     outputs: list[np.ndarray]
@@ -179,16 +205,73 @@ class ServeReport:
     throughput_rps: float
     layer_stats: list[list[LayerShardStats]]
     layer_cycles: list[int]
+    queue_us: np.ndarray = field(default_factory=lambda: np.empty(0))
+    compute_us: np.ndarray = field(default_factory=lambda: np.empty(0))
+    shed_rids: list[int] = field(default_factory=list)
 
     @property
     def num_requests(self) -> int:
+        """Admitted (= completed) requests."""
         return len(self.outputs)
 
-    def latency_percentile(self, q: float) -> float:
-        """Latency percentile in microseconds (e.g. ``q=50``, ``q=99``)."""
-        if self.latencies_us.size == 0:
-            return 0.0
-        return float(np.percentile(self.latencies_us, q))
+    @property
+    def num_shed(self) -> int:
+        """Requests rejected by admission control."""
+        return len(self.shed_rids)
+
+    @property
+    def num_submitted(self) -> int:
+        """Everything that arrived: admitted plus shed."""
+        return self.num_requests + self.num_shed
+
+    def _series(self, which: str) -> np.ndarray:
+        series = {
+            "total": self.latencies_us,
+            "queue": self.queue_us,
+            "compute": self.compute_us,
+        }
+        if which not in series:
+            raise ValueError(
+                f"unknown latency series {which!r}; "
+                f"known: {', '.join(sorted(series))}"
+            )
+        return series[which]
+
+    def latency_percentile(self, q: float, which: str = "total") -> float:
+        """Latency percentile in microseconds (e.g. ``q=50``, ``q=99``).
+
+        Raises:
+            EmptyServeReportError: on a report with no completed
+                requests -- percentiles of nothing are a caller bug, not
+                a zero.
+        """
+        series = self._series(which)
+        if series.size == 0:
+            raise EmptyServeReportError(
+                "latency percentiles are undefined on an empty report "
+                f"({self.num_shed} shed, 0 completed)"
+            )
+        return float(np.percentile(series, q))
+
+    def percentile_curve(
+        self,
+        qs: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0),
+        which: str = "total",
+    ) -> np.ndarray:
+        """Latency percentiles at every ``q`` of ``qs``, as an array.
+
+        ``which`` selects the series: ``"total"`` (default),
+        ``"queue"``, or ``"compute"``.  Monotone in ``q`` by definition
+        of the percentile; raises :class:`EmptyServeReportError` on an
+        empty report like :meth:`latency_percentile`.
+        """
+        series = self._series(which)
+        if series.size == 0:
+            raise EmptyServeReportError(
+                "latency percentiles are undefined on an empty report "
+                f"({self.num_shed} shed, 0 completed)"
+            )
+        return np.percentile(series, np.asarray(qs, dtype=np.float64))
 
 
 class ModelServer:
@@ -205,6 +288,17 @@ class ModelServer:
         zero_skip: forward the engines' input zero-skipping.
         enforce_capacity: validate every shard against its engine's SRAM
             budget at construction (and per call).
+        queue_capacity: bound on the in-flight population (requests
+            admitted but not yet completed, including the forming
+            batch).  ``None`` (default) queues unboundedly -- the exact
+            pre-admission-control behaviour.  With a bound, a request
+            arriving while the population is at capacity is **shed**
+            (reject-newest): it is never executed, its id lands in
+            :attr:`ServeReport.shed_rids`, and the entry layer's shard
+            counters record the rejection.  Bounding the queue bounds
+            queueing delay (Little's law: delay ~ capacity / service
+            rate), which is what keeps admitted-request tail latency
+            inside an SLO past the saturation knee.
     """
 
     def __init__(
@@ -216,9 +310,15 @@ class ModelServer:
         flush_deadline_us: float = 50.0,
         zero_skip: bool = True,
         enforce_capacity: bool = True,
+        queue_capacity: int | None = None,
     ) -> None:
         if not layers:
             raise ValueError("ModelServer needs at least one layer")
+        if queue_capacity is not None and queue_capacity <= 0:
+            raise ValueError(
+                f"queue_capacity must be positive or None, got {queue_capacity}"
+            )
+        self.queue_capacity = queue_capacity
         self.config = config or EngineConfig()
         self.zero_skip = zero_skip
         self.enforce_capacity = enforce_capacity
@@ -345,14 +445,27 @@ class ModelServer:
     def drain(self) -> ServeReport:
         """Serve every pending request and return the drain report.
 
-        Micro-batches are formed by the batcher, then pipelined through
-        the layer shard arrays: batch ``b`` enters layer ``l`` at
-        ``max(completion[l-1][b], completion[l][b-1], ready_b)`` and
-        occupies the layer for its slowest shard's cycles.  Outputs come
+        Micro-batches are formed online (the batcher's streaming
+        assembler) and pipelined through the layer shard arrays: batch
+        ``b`` enters layer ``l`` at ``max(completion[l-1][b],
+        completion[l][b-1], ready_b)`` and occupies the layer for its
+        slowest shard's cycles.  A batch is never ready before its last
+        member arrived, so per-request latency (completion minus
+        arrival) is honest open-loop timing; each request's wait is
+        split into queue and compute components (see
+        :class:`ServeReport`).
+
+        With a bounded ``queue_capacity``, admission control runs at
+        each request's arrival instant: if the in-flight population
+        (admitted, not yet completed at that simulated time) is at
+        capacity, the newest request is shed instead of queued.  Batch
+        formation, execution, and shedding all advance on the same
+        simulated clock, so the whole drain stays a pure function of the
+        submitted ``(input, arrival)`` sequence -- identical seeds
+        reproduce identical per-request latency traces.  Outputs come
         back in submission order regardless of batching.
         """
         pending, self._pending = self._pending, []
-        batches = self.batcher.plan(pending)
         num_layers = len(self.layers)
         layer_stats = [
             [LayerShardStats() for _ in range(layer.num_shards)]
@@ -361,11 +474,22 @@ class ModelServer:
         layer_cycles = [0] * num_layers
         outputs: dict[int, np.ndarray] = {}
         latencies: dict[int, float] = {}
+        queue_lat: dict[int, float] = {}
+        batch_sizes: list[int] = []
+        shed_rids: list[int] = []
         # completion time (in cycles) of the previous batch, per layer
         layer_free = [0.0] * num_layers
-        for batch in batches:
+        # completion times (us) of already-executed batches' requests, in
+        # non-decreasing order (each batch finishes no earlier than its
+        # predecessor); ``done_idx`` advances with simulated time so the
+        # in-flight count below stays O(1) amortized.
+        completion_log: list[float] = []
+        done_idx = 0
+
+        def run_batch(batch) -> None:
             current = batch.stacked_inputs()
             done = batch.ready_us * self.cycles_per_us
+            start_entry = done
             for idx, (layer, engines) in enumerate(
                 zip(self.layers, self.engines)
             ):
@@ -377,6 +501,8 @@ class ModelServer:
                 )
                 stage = max(shard_cycles)
                 start = max(done, layer_free[idx])
+                if idx == 0:
+                    start_entry = start
                 done = start + stage
                 layer_free[idx] = done
                 layer_cycles[idx] += stage
@@ -389,16 +515,55 @@ class ModelServer:
                     stats.batches += 1
                     stats.samples += batch.size
             completion_us = done / self.cycles_per_us
+            start_entry_us = start_entry / self.cycles_per_us
             for row, request in enumerate(batch.requests):
                 outputs[request.rid] = current[row]
                 latencies[request.rid] = completion_us - request.arrival_us
+                queue_lat[request.rid] = start_entry_us - request.arrival_us
+                completion_log.append(completion_us)
+            batch_sizes.append(batch.size)
+
+        assembler = self.batcher.assembler()
+        for request in pending:
+            flushed = assembler.poll(request.arrival_us)
+            if flushed is not None:
+                run_batch(flushed)
+            if self.queue_capacity is not None:
+                # In-flight population at this arrival: the forming batch
+                # plus every executed request still completing in the
+                # simulated future.
+                while (
+                    done_idx < len(completion_log)
+                    and completion_log[done_idx] <= request.arrival_us
+                ):
+                    done_idx += 1
+                in_flight = (
+                    assembler.pending_count
+                    + len(completion_log)
+                    - done_idx
+                )
+                if in_flight >= self.queue_capacity:
+                    shed_rids.append(request.rid)
+                    for stats in layer_stats[0]:
+                        stats.shed += 1
+                    continue
+            for batch in assembler.offer(request):
+                run_batch(batch)
+        tail = assembler.finish()
+        if tail is not None:
+            run_batch(tail)
+
         rids = sorted(outputs)
         latencies_us = np.asarray([latencies[rid] for rid in rids])
-        if pending:
-            first_arrival = min(request.arrival_us for request in pending)
+        queue_us = np.asarray([queue_lat[rid] for rid in rids])
+        compute_us = latencies_us - queue_us
+        shed = set(shed_rids)
+        admitted = [req for req in pending if req.rid not in shed]
+        if admitted:
+            first_arrival = min(request.arrival_us for request in admitted)
             last_completion = max(
                 request.arrival_us + latencies[request.rid]
-                for request in pending
+                for request in admitted
             )
             makespan_us = last_completion - first_arrival
         else:
@@ -409,11 +574,14 @@ class ModelServer:
         return ServeReport(
             outputs=[outputs[rid] for rid in rids],
             latencies_us=latencies_us,
-            batch_sizes=[batch.size for batch in batches],
+            batch_sizes=batch_sizes,
             makespan_us=makespan_us,
             throughput_rps=throughput,
             layer_stats=layer_stats,
             layer_cycles=layer_cycles,
+            queue_us=queue_us,
+            compute_us=compute_us,
+            shed_rids=shed_rids,
         )
 
     def __repr__(self) -> str:
@@ -421,5 +589,6 @@ class ModelServer:
             f"ModelServer(layers={len(self.layers)}, "
             f"shards={self.num_shards}, "
             f"max_batch={self.batcher.max_batch_size}, "
-            f"deadline={self.batcher.flush_deadline_us}us)"
+            f"deadline={self.batcher.flush_deadline_us}us, "
+            f"queue_capacity={self.queue_capacity})"
         )

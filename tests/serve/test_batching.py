@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.serve import MicroBatcher, Request
+from repro.serve import BatchAssembler, MicroBatcher, Request
 
 
 def _requests(arrivals):
@@ -67,3 +67,81 @@ class TestMicroBatcher:
         np.testing.assert_array_equal(
             batch.stacked_inputs(), [[0.0], [1.0], [2.0]]
         )
+
+
+class TestBatchAssembler:
+    """The streaming former plan() is built on (so the two cannot drift)."""
+
+    def _drive(self, assembler, requests, poll=False):
+        batches = []
+        for request in requests:
+            if poll:
+                flushed = assembler.poll(request.arrival_us)
+                if flushed is not None:
+                    batches.append(flushed)
+            batches.extend(assembler.offer(request))
+        tail = assembler.finish()
+        if tail is not None:
+            batches.append(tail)
+        return batches
+
+    @pytest.mark.parametrize("poll", [False, True])
+    def test_streaming_equals_offline_plan(self, poll):
+        batcher = MicroBatcher(max_batch_size=3, flush_deadline_us=7.0)
+        rng = np.random.default_rng(2)
+        requests = _requests(np.sort(rng.uniform(0, 120, size=25)))
+        planned = batcher.plan(requests)
+        # An extra poll() before each offer() must not change the cut:
+        # offer() applies the same deadline flush internally.
+        streamed = self._drive(batcher.assembler(), requests, poll=poll)
+        assert [b.size for b in planned] == [b.size for b in streamed]
+        assert [b.ready_us for b in planned] == [b.ready_us for b in streamed]
+        assert [r.rid for b in planned for r in b.requests] == [
+            r.rid for b in streamed for r in b.requests
+        ]
+
+    def test_poll_flushes_once_past_deadline(self):
+        assembler = MicroBatcher(max_batch_size=8, flush_deadline_us=10.0).assembler()
+        assert assembler.offer(_requests([0.0])[0]) == []
+        assert assembler.poll(5.0) is None  # deadline not reached
+        flushed = assembler.poll(11.0)
+        assert flushed is not None
+        assert flushed.size == 1
+        assert flushed.ready_us == 10.0  # open + deadline, not poll time
+        # Idempotent: nothing left to flush at the same instant.
+        assert assembler.poll(11.0) is None
+        assert assembler.finish() is None
+
+    def test_pending_count_tracks_the_forming_batch(self):
+        assembler = MicroBatcher(max_batch_size=3, flush_deadline_us=50.0).assembler()
+        requests = _requests([0.0, 1.0, 2.0])
+        assert assembler.pending_count == 0
+        assembler.offer(requests[0])
+        assembler.offer(requests[1])
+        assert assembler.pending_count == 2
+        (full,) = assembler.offer(requests[2])
+        assert full.size == 3
+        assert assembler.pending_count == 0
+
+    def test_offer_rejects_out_of_order_arrivals(self):
+        assembler = MicroBatcher(max_batch_size=4, flush_deadline_us=50.0).assembler()
+        assembler.offer(_requests([5.0])[0])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            assembler.offer(Request(1, np.asarray([1.0]), 1.0))
+
+    def test_finish_flushes_the_tail_as_a_deadline_batch(self):
+        assembler = MicroBatcher(max_batch_size=4, flush_deadline_us=9.0).assembler()
+        for request in _requests([2.0, 3.0]):
+            assembler.offer(request)
+        tail = assembler.finish()
+        assert tail.size == 2
+        assert tail.ready_us == 2.0 + 9.0
+
+    def test_assembler_factory_binds_the_policy(self):
+        batcher = MicroBatcher(max_batch_size=2, flush_deadline_us=1.0)
+        assembler = batcher.assembler()
+        assert isinstance(assembler, BatchAssembler)
+        a, b = _requests([0.0, 0.5])
+        assembler.offer(a)
+        (full,) = assembler.offer(b)
+        assert full.ready_us == 0.5  # fill close at last arrival

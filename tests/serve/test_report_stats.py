@@ -1,0 +1,110 @@
+"""Property tests for ServeReport's latency statistics (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import EmptyServeReportError, ServeReport
+
+
+def _report(latencies, queue=None):
+    """A ServeReport carrying only latency series (stats don't need more)."""
+    latencies = np.asarray(latencies, dtype=np.float64)
+    queue = (
+        np.zeros_like(latencies)
+        if queue is None
+        else np.asarray(queue, dtype=np.float64)
+    )
+    return ServeReport(
+        outputs=[np.zeros(1) for _ in latencies],
+        latencies_us=latencies,
+        batch_sizes=[latencies.size] if latencies.size else [],
+        makespan_us=float(latencies.max()) if latencies.size else 0.0,
+        throughput_rps=0.0,
+        layer_stats=[],
+        layer_cycles=[],
+        queue_us=queue,
+        compute_us=latencies - queue,
+    )
+
+
+_latencies = st.lists(
+    st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=64,
+)
+
+
+class TestPercentileProperties:
+    @given(_latencies, st.floats(0.0, 100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_numpy_percentile(self, latencies, q):
+        report = _report(latencies)
+        assert report.latency_percentile(q) == pytest.approx(
+            float(np.percentile(latencies, q)), rel=1e-12, abs=1e-12
+        )
+
+    @given(_latencies, st.lists(st.floats(0.0, 100.0), min_size=2, max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_curve_monotone_in_q(self, latencies, qs):
+        qs = sorted(qs)
+        curve = _report(latencies).percentile_curve(tuple(qs))
+        assert np.all(np.diff(curve) >= -1e-9)
+
+    @given(_latencies)
+    @settings(max_examples=50, deadline=None)
+    def test_curve_agrees_with_scalar_percentile(self, latencies):
+        report = _report(latencies)
+        curve = report.percentile_curve((50.0, 90.0, 99.0))
+        for q, value in zip((50.0, 90.0, 99.0), curve):
+            assert value == pytest.approx(report.latency_percentile(q))
+
+    @given(_latencies)
+    @settings(max_examples=50, deadline=None)
+    def test_percentiles_bounded_by_extremes(self, latencies):
+        report = _report(latencies)
+        assert report.latency_percentile(0.0) == pytest.approx(min(latencies))
+        assert report.latency_percentile(100.0) == pytest.approx(max(latencies))
+
+    @given(_latencies)
+    @settings(max_examples=50, deadline=None)
+    def test_series_split_is_consistent(self, latencies):
+        # total == queue + compute, and each series is selectable.
+        queue = [0.5 * v for v in latencies]
+        report = _report(latencies, queue=queue)
+        total = report.percentile_curve((50.0,), which="total")[0]
+        q50 = report.percentile_curve((50.0,), which="queue")[0]
+        c50 = report.percentile_curve((50.0,), which="compute")[0]
+        assert total == pytest.approx(q50 + c50)
+
+
+class TestEmptyAndInvalid:
+    def test_empty_report_raises_typed_error_not_indexerror(self):
+        report = _report([])
+        with pytest.raises(EmptyServeReportError, match="empty report"):
+            report.latency_percentile(50.0)
+        with pytest.raises(EmptyServeReportError, match="empty report"):
+            report.percentile_curve()
+        # The typed error is a ValueError so generic handlers still work.
+        assert issubclass(EmptyServeReportError, ValueError)
+
+    def test_empty_error_reports_shed_count(self):
+        report = _report([])
+        report.shed_rids.extend([0, 1, 2])
+        with pytest.raises(EmptyServeReportError, match="3 shed"):
+            report.latency_percentile(99.0)
+
+    def test_unknown_series_rejected(self):
+        report = _report([1.0, 2.0])
+        with pytest.raises(ValueError, match="unknown latency series"):
+            report.latency_percentile(50.0, which="wall")
+        with pytest.raises(ValueError, match="unknown latency series"):
+            report.percentile_curve(which="wall")
+
+    def test_submission_accounting(self):
+        report = _report([1.0, 2.0, 3.0])
+        report.shed_rids.extend([7, 8])
+        assert report.num_requests == 3
+        assert report.num_shed == 2
+        assert report.num_submitted == 5

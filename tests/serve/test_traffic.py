@@ -1,0 +1,177 @@
+"""Statistical sanity of the seeded open-loop arrival generators.
+
+Every check here runs on a *fixed* seed, so the suite is deterministic:
+the tolerances assert distributional shape (moments, KS distance, duty
+cycles, rate modulation), not luck.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    UnknownArrivalProcessError,
+    arrival_process_names,
+    make_arrival_process,
+)
+from repro.serve.traffic import US_PER_S
+
+
+def _ks_distance_vs_exponential(gaps, mean):
+    """Kolmogorov-Smirnov distance of ``gaps`` vs Exp(mean)."""
+    gaps = np.sort(np.asarray(gaps))
+    n = gaps.size
+    cdf = 1.0 - np.exp(-gaps / mean)
+    empirical_hi = np.arange(1, n + 1) / n
+    empirical_lo = np.arange(n) / n
+    return max(
+        np.max(np.abs(empirical_hi - cdf)),
+        np.max(np.abs(empirical_lo - cdf)),
+    )
+
+
+class TestDeterministicArrivals:
+    def test_even_spacing_at_rate(self):
+        arrivals = DeterministicArrivals(1000.0).generate(5)
+        np.testing.assert_allclose(arrivals, [0.0, 1000.0, 2000.0, 3000.0, 4000.0])
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            DeterministicArrivals(0.0)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            DeterministicArrivals(1.0).generate(0)
+
+
+class TestPoissonArrivals:
+    def test_mean_gap_matches_offered_rate(self):
+        rate = 2000.0
+        arrivals = PoissonArrivals(rate, seed=7).generate(4000)
+        gaps = np.diff(arrivals, prepend=0.0)
+        assert np.mean(gaps) == pytest.approx(US_PER_S / rate, rel=0.05)
+
+    def test_gap_variance_is_exponential(self):
+        # Exponential gaps: std == mean (coefficient of variation 1).
+        gaps = np.diff(PoissonArrivals(500.0, seed=3).generate(4000), prepend=0.0)
+        assert np.std(gaps) / np.mean(gaps) == pytest.approx(1.0, abs=0.08)
+
+    def test_ks_distance_vs_exponential_cdf(self):
+        rate = 1000.0
+        gaps = np.diff(PoissonArrivals(rate, seed=11).generate(2000), prepend=0.0)
+        # 1.36 / sqrt(n) is the 5% KS critical value; the fixed seed makes
+        # this a regression bound, not a flaky hypothesis test.
+        assert _ks_distance_vs_exponential(gaps, US_PER_S / rate) < 1.36 / math.sqrt(2000)
+
+    def test_strictly_increasing(self):
+        arrivals = PoissonArrivals(100.0, seed=0).generate(512)
+        assert np.all(np.diff(arrivals) > 0)
+
+
+class TestBurstyArrivals:
+    def test_duty_cycle_converges_to_configured(self):
+        process = BurstyArrivals(1000.0, seed=5, duty_cycle=0.25, burst_len=8.0)
+        trace = process.simulate(4000)
+        assert trace.measured_duty_cycle == pytest.approx(0.25, abs=0.05)
+
+    def test_mean_rate_stays_at_offered_load(self):
+        rate = 1000.0
+        arrivals = BurstyArrivals(rate, seed=2).generate(4000)
+        measured = 4000 / (arrivals[-1] / US_PER_S)
+        assert measured == pytest.approx(rate, rel=0.1)
+
+    def test_on_rate_derivation_preserves_mean(self):
+        # duty * on_rate + (1 - duty) * off_rate == offered rate, exactly.
+        for off_frac in (0.0, 0.2, 1.0):
+            p = BurstyArrivals(800.0, duty_cycle=0.4, off_rate_fraction=off_frac)
+            mean = 0.4 * p.on_rate_rps + 0.6 * p.off_rate_rps
+            assert mean == pytest.approx(800.0)
+
+    def test_bursts_are_denser_than_poisson(self):
+        # ON-state rate is 1/duty x the mean rate, so the lower quartile
+        # of gaps is much tighter than the exponential's.
+        rate = 1000.0
+        bursty = np.diff(BurstyArrivals(rate, seed=9, duty_cycle=0.25).generate(2000))
+        poisson = np.diff(PoissonArrivals(rate, seed=9).generate(2000))
+        assert np.percentile(bursty, 25) < 0.5 * np.percentile(poisson, 25)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="duty_cycle"):
+            BurstyArrivals(1.0, duty_cycle=0.0)
+        with pytest.raises(ValueError, match="duty_cycle"):
+            BurstyArrivals(1.0, duty_cycle=1.5)
+        with pytest.raises(ValueError, match="burst_len"):
+            BurstyArrivals(1.0, burst_len=0.0)
+        with pytest.raises(ValueError, match="off_rate_fraction"):
+            BurstyArrivals(1.0, off_rate_fraction=-0.1)
+
+
+class TestDiurnalArrivals:
+    def test_peak_half_carries_the_sine_excess(self):
+        # Over [0, P/2] the rate integrates to (1/2 + amplitude/pi) of the
+        # total, so that fraction of arrivals lands in the peak half.
+        rate, amplitude, period = 1000.0, 0.8, 200_000.0
+        arrivals = DiurnalArrivals(
+            rate, seed=4, amplitude=amplitude, period_us=period
+        ).generate(4000)
+        in_peak_half = np.mean((arrivals % period) < period / 2)
+        assert in_peak_half == pytest.approx(0.5 + amplitude / math.pi, abs=0.04)
+
+    def test_zero_amplitude_reduces_to_poisson_rate(self):
+        rate = 1000.0
+        arrivals = DiurnalArrivals(rate, seed=6, amplitude=0.0).generate(3000)
+        measured = 3000 / (arrivals[-1] / US_PER_S)
+        assert measured == pytest.approx(rate, rel=0.1)
+
+    def test_default_period_covers_two_cycles(self):
+        process = DiurnalArrivals(1000.0)
+        expected_span = 1000 * US_PER_S / 1000.0
+        assert process._period_for(1000) == pytest.approx(expected_span / 2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalArrivals(1.0, amplitude=1.5)
+        with pytest.raises(ValueError, match="period_us"):
+            DiurnalArrivals(1.0, period_us=0.0)
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("name", ["deterministic", "poisson", "bursty", "diurnal"])
+    def test_same_seed_bit_identical_stream(self, name):
+        first = make_arrival_process(name, 1000.0, seed=42).generate(256)
+        second = make_arrival_process(name, 1000.0, seed=42).generate(256)
+        np.testing.assert_array_equal(first, second)
+
+    @pytest.mark.parametrize("name", ["poisson", "bursty", "diurnal"])
+    def test_different_seeds_differ(self, name):
+        first = make_arrival_process(name, 1000.0, seed=0).generate(64)
+        second = make_arrival_process(name, 1000.0, seed=1).generate(64)
+        assert not np.array_equal(first, second)
+
+    @pytest.mark.parametrize("name", ["deterministic", "poisson", "bursty", "diurnal"])
+    def test_streams_are_non_decreasing(self, name):
+        arrivals = make_arrival_process(name, 500.0, seed=3).generate(200)
+        assert arrivals.shape == (200,)
+        assert np.all(np.diff(arrivals) >= 0)
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_complete(self):
+        assert arrival_process_names() == (
+            "bursty", "deterministic", "diurnal", "poisson",
+        )
+
+    def test_unknown_name_raises_typed_lookup_error(self):
+        with pytest.raises(UnknownArrivalProcessError, match="nope"):
+            make_arrival_process("nope", 1.0)
+        assert issubclass(UnknownArrivalProcessError, LookupError)
+
+    def test_kwargs_reach_the_process(self):
+        process = make_arrival_process("bursty", 100.0, seed=1, duty_cycle=0.5)
+        assert isinstance(process, BurstyArrivals)
+        assert process.duty_cycle == 0.5
