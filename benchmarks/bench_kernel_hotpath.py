@@ -24,6 +24,14 @@ Usage::
     python benchmarks/bench_kernel_hotpath.py --smoke             # CI canary
     python benchmarks/bench_kernel_hotpath.py --backend gather    # pin backend
     python benchmarks/bench_kernel_hotpath.py --compare-backends  # per-backend table
+    python benchmarks/bench_kernel_hotpath.py --dtype float32     # reduced precision
+    python benchmarks/bench_kernel_hotpath.py --dtype all         # dtype sweep table
+
+The ``--dtype`` axis times the value-storage modes (float64 default,
+float32 storage+compute, int16 fixed-point codes decoded into float64
+accumulation).  The naive/pr1 baselines always run at float64 -- they
+replicate pre-dtype-storage code, which *was* float64 -- so the speedup
+columns fold in whatever the reduced-precision storage buys.
 """
 
 from __future__ import annotations
@@ -140,22 +148,37 @@ def _pr1_grad(matrix: BlockPermutedDiagonalMatrix, x, dy) -> np.ndarray:
 
 
 def bench_point(
-    m: int, n: int, p: int, batch: int, reps: int, backend: str | None
+    m: int,
+    n: int,
+    p: int,
+    batch: int,
+    reps: int,
+    backend: str | None,
+    value_dtype: str = "float64",
 ) -> tuple:
     rng = np.random.default_rng(0)
-    matrix = BlockPermutedDiagonalMatrix.random((m, n), p, rng=rng, backend=backend)
-    pr1 = _pr1_style_matrix(matrix)
-    x = rng.normal(size=(batch, n))
-    dy = rng.normal(size=(batch, m))
+    base = BlockPermutedDiagonalMatrix.random((m, n), p, rng=rng, backend=backend)
+    matrix = (
+        base if value_dtype == "float64" else base.with_value_dtype(value_dtype)
+    )
+    pr1 = _pr1_style_matrix(base)
+    # Inputs arrive in the kernel's compute dtype (the serving path hands
+    # float32 activations to a float32 layer); baselines stay float64.
+    x64 = rng.normal(size=(batch, n))
+    dy64 = rng.normal(size=(batch, m))
+    x = x64.astype(matrix.compute_dtype)
+    dy = dy64.astype(matrix.compute_dtype)
 
     fwd_s = _time(lambda: matrix.matmat(x), reps)
     bwd_s = _time(
         lambda: (matrix.rmatmat(dy), matrix.grad_data(x, dy)), reps
     )
     grad_s = _time(lambda: matrix.grad_data(x, dy), reps)
-    pr1_bwd_s = _time(lambda: (pr1.rmatmat(dy), _pr1_grad(pr1, x, dy)), reps)
-    pr1_grad_s = _time(lambda: _pr1_grad(pr1, x, dy), reps)
-    naive_s = _time(lambda: _naive_backward(matrix, x, dy), reps)
+    pr1_bwd_s = _time(
+        lambda: (pr1.rmatmat(dy64), _pr1_grad(pr1, x64, dy64)), reps
+    )
+    pr1_grad_s = _time(lambda: _pr1_grad(pr1, x64, dy64), reps)
+    naive_s = _time(lambda: _naive_backward(base, x64, dy64), reps)
 
     # A forward touches batch * nnz multiply-accumulates; the backward pair
     # touches twice that.  Report effective GMAC/s on the stored weights.
@@ -168,6 +191,7 @@ def bench_point(
         p,
         batch,
         matrix.resolved_backend(),
+        value_dtype,
         f"{fwd_s * 1e3:.2f}",
         f"{fwd_gmacs:.2f}",
         f"{bwd_s * 1e3:.2f}",
@@ -187,6 +211,7 @@ HEADERS = [
     "p",
     "batch",
     "backend",
+    "dtype",
     "fwd_ms",
     "fwd_GMAC/s",
     "bwd_ms",
@@ -222,17 +247,26 @@ def main() -> None:
         help="run every available backend per grid point and emit a "
         "side-by-side table (bench_kernel_backends.txt)",
     )
+    parser.add_argument(
+        "--dtype",
+        default="float64",
+        choices=("float64", "float32", "int16", "all"),
+        help="value-storage dtype under test; 'all' sweeps every mode per "
+        "grid point and emits bench_kernel_dtypes.txt",
+    )
     args = parser.parse_args()
     grid = SMOKE_GRID if args.smoke else FULL_GRID
     reps = args.reps if args.reps is not None else (2 if args.smoke else 5)
     if reps < 1:
         parser.error("--reps must be >= 1")
+    if args.compare_backends and args.dtype == "all":
+        parser.error("--compare-backends sweeps backends; pick one --dtype")
 
     if args.compare_backends:
         rows = []
         for point in grid:
             for backend in available_backends():
-                rows.append(bench_point(*point, reps, backend))
+                rows.append(bench_point(*point, reps, backend, args.dtype))
         emit("bench_kernel_backends", format_table(HEADERS, rows))
         return
 
@@ -242,7 +276,15 @@ def main() -> None:
             f"backend {backend!r} is not available on this machine "
             f"(available: {', '.join(available_backends())})"
         )
-    rows = [bench_point(*point, reps, backend) for point in grid]
+    if args.dtype == "all":
+        rows = [
+            bench_point(*point, reps, backend, value_dtype)
+            for point in grid
+            for value_dtype in ("float64", "float32", "int16")
+        ]
+        emit("bench_kernel_dtypes", format_table(HEADERS, rows))
+        return
+    rows = [bench_point(*point, reps, backend, args.dtype) for point in grid]
     emit("bench_kernel_hotpath", format_table(HEADERS, rows))
 
 

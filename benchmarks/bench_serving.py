@@ -25,13 +25,22 @@ Usage::
     python benchmarks/bench_serving.py            # full scale, shards 1/2/4/8
     python benchmarks/bench_serving.py --smoke    # CI canary (scale 1/8)
     python benchmarks/bench_serving.py --shards 4 --requests 64
+    python benchmarks/bench_serving.py --dtype float32        # storage mode
     python benchmarks/bench_serving.py --open-loop            # latency vs load
     python benchmarks/bench_serving.py --open-loop --smoke    # CI canary
+
+The closed-loop run also emits a host-time thread comparison: the same
+drain at the acceptance shard count across executor thread counts, with
+real wall-clock per drain and the bit-exactness check.  Simulated
+metrics are thread-count independent by construction (shard outputs are
+stitched in shard order), so only wall time moves -- and only on hosts
+with more than one CPU.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -99,6 +108,13 @@ def main() -> int:
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument("--deadline-us", type=float, default=50.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dtype", default="float64",
+                        choices=("float64", "float32", "int16"),
+                        help="value-storage mode served "
+                             "(quantize-at-export)")
+    parser.add_argument("--threads", type=int, action="append", default=None,
+                        help="thread count for the host-time comparison "
+                             "(repeatable; default 1/2/4)")
     parser.add_argument("--open-loop", action="store_true",
                         help="tail-latency study under open-loop arrivals "
                              "(Poisson/bursty/diurnal) instead of the "
@@ -133,6 +149,7 @@ def main() -> int:
         flush_deadline_us=args.deadline_us,
         scale=scale,
         seed=args.seed,
+        value_dtype=args.dtype,
     )
     wall = time.perf_counter() - start
 
@@ -163,7 +180,8 @@ def main() -> int:
     header = (
         f"AlexNet-FC serving, scale 1/{scale}, {requests} requests, "
         f"max batch {reports[0].max_batch_size}, "
-        f"deadline {args.deadline_us:.0f} us\n"
+        f"deadline {args.deadline_us:.0f} us, "
+        f"{args.dtype} value storage\n"
         f"baseline (1 engine, run_fc_batch): "
         f"{reports[0].baseline_rps:,.0f} req/s\n\n"
     )
@@ -172,6 +190,47 @@ def main() -> int:
         rows,
     )
     table += f"\n\n(sweep wall time {wall:.1f}s)"
+
+    # Host-time thread comparison: the same drain at the acceptance shard
+    # count, across executor thread counts.  Simulated rows above do not
+    # move; only real wall time can.
+    thread_counts = tuple(args.threads) if args.threads else (1, 2, 4)
+    thread_rows = []
+    for threads in thread_counts:
+        [rep] = run_serving_sweep(
+            (ACCEPTANCE_SHARDS,),
+            num_requests=requests,
+            max_batch_size=max_batch,
+            flush_deadline_us=args.deadline_us,
+            scale=scale,
+            seed=args.seed,
+            num_threads=threads,
+            value_dtype=args.dtype,
+        )
+        thread_rows.append((
+            rep.num_threads,
+            f"{rep.host_wall_s * 1e3:.1f}",
+            f"{rep.sharded_rps:,.0f}",
+            "yes" if rep.outputs_match else "NO",
+        ))
+        if not rep.outputs_match:
+            failures.append(
+                f"{rep.num_threads}-thread outputs diverge from baseline"
+            )
+    host_cpus = os.cpu_count() or 1
+    table += (
+        f"\n\nhost-time thread comparison "
+        f"({ACCEPTANCE_SHARDS} shards, {host_cpus}-CPU host):\n"
+        + format_table(
+            ["threads", "drain_wall_ms", "sim_req/s", "bit-exact"],
+            thread_rows,
+        )
+    )
+    if host_cpus == 1:
+        table += (
+            "\n(single-CPU host: thread counts cannot change wall time "
+            "here; the comparison pins determinism and overhead)"
+        )
     # Smoke runs get their own artifact so a CI canary never clobbers the
     # committed full-scale reference table.
     emit("bench_serving_smoke" if args.smoke else "bench_serving",

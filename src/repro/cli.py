@@ -151,6 +151,8 @@ def _cmd_serve_bench(args) -> int:
         flush_deadline_us=args.deadline_us,
         scale=args.scale,
         seed=args.seed,
+        num_threads=args.threads,
+        value_dtype=args.dtype,
     )
     print(format_report(report))
     # A sharded/unsharded mismatch is a correctness failure, not a perf
@@ -226,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--scale", type=int, default=1,
                      help="divide the AlexNet-FC widths by this factor")
     srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--threads", type=int, default=None,
+                     help="host threads per drain's shard executor "
+                          "(default: min(shards, host CPUs); simulated "
+                          "metrics are thread-count independent)")
+    srv.add_argument("--dtype", default=None,
+                     choices=("float64", "float32", "int16"),
+                     help="value-storage mode to serve at "
+                          "(quantize-at-export; default float64)")
     srv.add_argument("--arrivals", action="append", default=None,
                      choices=["deterministic", "poisson", "bursty", "diurnal"],
                      help="open-loop mode: measure latency percentiles vs "

@@ -20,6 +20,11 @@ Public API
 - :func:`set_default_backend` / :func:`available_backends` -- process-wide
   kernel-backend selection (see :mod:`repro.core.backends`); individual
   matrices can pin a backend via their ``backend=`` argument.
+- :func:`set_default_value_dtype` / :func:`default_value_dtype` --
+  process-wide value-storage selection (float64 / float32 / int16
+  fixed-point; see :mod:`repro.core.value_types`); individual matrices
+  take ``value_dtype=`` / ``fixed_point=`` arguments and convert via
+  :meth:`BlockPermutedDiagonalMatrix.with_value_dtype`.
 """
 
 from repro.core.backends import (
@@ -29,6 +34,13 @@ from repro.core.backends import (
     default_backend,
     get_backend,
     set_default_backend,
+)
+from repro.core.value_types import (
+    VALUE_DTYPES,
+    UnknownValueDtypeError,
+    default_value_dtype,
+    set_default_value_dtype,
+    validate_value_dtype,
 )
 from repro.core.permutation import (
     PermutationSpec,
@@ -63,12 +75,15 @@ __all__ = [
     "BlockPermDiagTensor4D",
     "StorageReport",
     "UnknownBackendError",
+    "UnknownValueDtypeError",
+    "VALUE_DTYPES",
     "approximate_pd",
     "approximate_pd_tensor",
     "available_backends",
     "best_permutation_parameters",
     "block_index",
     "default_backend",
+    "default_value_dtype",
     "dense_storage_bits",
     "get_backend",
     "load_bpd",
@@ -80,5 +95,7 @@ __all__ = [
     "row_shard_bounds",
     "save_bpd",
     "set_default_backend",
+    "set_default_value_dtype",
     "unstructured_sparse_storage_bits",
+    "validate_value_dtype",
 ]

@@ -8,8 +8,17 @@ pays -- ``matmat`` (forward), ``rmatmat`` (input gradient) and ``grad_data``
 Backends are **stateless singletons**: all per-matrix state (the cached
 index plan, the refreshed CSR value buffers) lives on the matrix itself,
 so one backend instance serves every matrix in the process.  Input
-validation also stays on the matrix -- backends receive float64 arrays of
-the correct shape and may index them without re-checking.
+validation also stays on the matrix -- backends receive arrays of the
+correct shape, pre-cast to the matrix's *compute dtype*
+(:attr:`~repro.core.block_perm_diag.BlockPermutedDiagonalMatrix.compute_dtype`),
+and may index them without re-checking.
+
+Dtype contract: backends read weight values through
+``matrix._kernel_data()`` (never ``matrix.data``, which may hold int16
+fixed-point codes) and allocate every temporary/output buffer with an
+explicit dtype derived from the operands -- dtype-less ``np.zeros`` /
+``np.empty`` silently upcast float32 products to float64 and are banned
+in ``core/backends/`` by repro-lint rule RPR009.
 """
 
 from __future__ import annotations

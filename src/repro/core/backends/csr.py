@@ -4,8 +4,11 @@ The CSR skeleton (``indptr``/``indices``) comes from the index plan and is
 stored in int32 whenever the matrix dimensions permit -- scipy's sparsetools
 native index type -- which halves the index traffic of every spmm against
 the int64 skeletons of earlier revisions.  Only the ``nnz`` value buffer is
-refreshed per call (a single plan-ordered gather), so in-place weight
-updates are always reflected without rebuilding structure.
+refreshed per call (a single plan-ordered gather, dequantizing int16 codes
+on the fly), so in-place weight updates are always reflected without
+rebuilding structure.  The value buffer lives in the matrix's compute
+dtype: float32 storage runs scipy's float32 spmm end to end (half the
+memory traffic), everything else the float64 reference arithmetic.
 
 The weight gradient reuses the same column skeleton through the shared
 batched contraction (:func:`~repro.core.backends.gather.batched_grad_data`):

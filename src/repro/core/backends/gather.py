@@ -56,10 +56,14 @@ def _chunk_rows(block_rows: int, per_row: int) -> int:
 
 
 def _pad_columns_t(arr_t: np.ndarray, width: int) -> np.ndarray:
-    """Transposed operand widened with zero rows (no copy when aligned)."""
+    """Transposed operand widened with zero rows (no copy when aligned).
+
+    Allocated at the operand's own dtype: a dtype-less ``np.zeros`` here
+    would silently upcast every float32 product to float64 (RPR009).
+    """
     if arr_t.shape[0] == width:
         return arr_t
-    pad = np.zeros((width, arr_t.shape[1]))
+    pad = np.zeros((width, arr_t.shape[1]), dtype=arr_t.dtype)
     pad[: arr_t.shape[0]] = arr_t
     return pad
 
@@ -89,7 +93,12 @@ def batched_grad_data(matrix, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
         grad = np.einsum("icb,ijcb->ijc", dy_blocks, gathered)
     else:
         rows = _chunk_rows(matrix.mb, matrix.nb * matrix.p * batch)
-        grad = np.empty_like(matrix.data)
+        # The gradient is w.r.t. the *logical* weights, in the compute
+        # dtype of the operands -- never the storage dtype (which may be
+        # int16 codes that could not hold a gradient at all).
+        grad = np.empty(
+            matrix.data.shape, dtype=np.result_type(x_t, dy_t)
+        )
         for start in range(0, matrix.mb, rows):
             stop = min(start + rows, matrix.mb)
             gathered = x_t[plan.cols[start:stop].reshape(-1)].reshape(
@@ -111,30 +120,33 @@ class GatherBackend(KernelBackend):
     def matmat(self, matrix, x: np.ndarray) -> np.ndarray:
         plan = matrix._get_plan()
         batch = x.shape[0]
+        data = matrix._kernel_data()
         if batch * plan.cols.size <= _oneshot_limit():
             # Small problem: one batch-major gather, no transposes.
             if plan.aligned_n:
                 x_pad = x  # aligned fast path: no zero-padded copy
             else:
-                x_pad = np.zeros((batch, matrix.nb * matrix.p))
+                x_pad = np.zeros((batch, matrix.nb * matrix.p), dtype=x.dtype)
                 x_pad[:, : x.shape[1]] = x
             gathered = x_pad[:, plan.flat_cols].reshape(
                 batch, matrix.mb, matrix.nb, matrix.p
             )
-            y_blocks = np.einsum("ijc,bijc->bic", matrix.data, gathered)
+            y_blocks = np.einsum("ijc,bijc->bic", data, gathered)
             return y_blocks.reshape(batch, matrix.mb * matrix.p)[
                 :, : matrix.shape[0]
             ]
         x_t = _pad_columns_t(np.ascontiguousarray(x.T), matrix.nb * matrix.p)
         rows = _chunk_rows(matrix.mb, matrix.nb * matrix.p * batch)
-        y_t = np.empty((matrix.mb, matrix.p, batch))
+        y_t = np.empty(
+            (matrix.mb, matrix.p, batch), dtype=np.result_type(data, x_t)
+        )
         for start in range(0, matrix.mb, rows):
             stop = min(start + rows, matrix.mb)
             gathered = x_t[plan.cols[start:stop].reshape(-1)].reshape(
                 stop - start, matrix.nb, matrix.p, batch
             )
             y_t[start:stop] = np.einsum(
-                "ijc,ijcb->icb", matrix.data[start:stop], gathered
+                "ijc,ijcb->icb", data[start:stop], gathered
             )
         out = y_t.reshape(matrix.mb * matrix.p, batch)[: matrix.shape[0]]
         return np.ascontiguousarray(out.T)
@@ -143,12 +155,12 @@ class GatherBackend(KernelBackend):
         plan = matrix._get_plan()
         batch = y.shape[0]
         t_src, t_cols = plan.transpose_arrays()
-        data_flat = matrix.data.ravel()
+        data_flat = matrix._kernel_data().ravel()
         if batch * t_cols.size <= _oneshot_limit():
             if plan.aligned_m:
                 y_pad = y  # aligned fast path: no zero-padded copy
             else:
-                y_pad = np.zeros((batch, matrix.mb * matrix.p))
+                y_pad = np.zeros((batch, matrix.mb * matrix.p), dtype=y.dtype)
                 y_pad[:, : y.shape[1]] = y
             data_t = data_flat[t_src]
             gathered = y_pad[:, t_cols.reshape(-1)].reshape(
@@ -160,7 +172,10 @@ class GatherBackend(KernelBackend):
             ]
         y_t = _pad_columns_t(np.ascontiguousarray(y.T), matrix.mb * matrix.p)
         rows = _chunk_rows(matrix.nb, matrix.mb * matrix.p * batch)
-        x_t = np.empty((matrix.nb, matrix.p, batch))
+        x_t = np.empty(
+            (matrix.nb, matrix.p, batch),
+            dtype=np.result_type(data_flat, y_t),
+        )
         for start in range(0, matrix.nb, rows):
             stop = min(start + rows, matrix.nb)
             gathered = y_t[t_cols[start:stop].reshape(-1)].reshape(

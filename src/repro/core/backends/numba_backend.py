@@ -11,6 +11,13 @@ The kernels index padded buffers (``mb*p`` / ``nb*p`` wide) so the modulo
 column arithmetic never goes out of bounds; the python wrappers add the
 zero padding only for non-multiple-of-``p`` shapes, mirroring the aligned
 fast paths of the gather backend.
+
+Every buffer the wrappers allocate carries an explicit dtype derived from
+the operands (the JIT specializes per dtype): a dtype-less ``np.zeros``
+here used to silently upcast float32 inputs to float64, materializing a
+double-width temporary even on the "aligned no-copy" path.  The
+``grad_data`` accumulator is float64 by construction (``acc = 0.0``)
+regardless of operand dtype, narrowing only on the final store.
 """
 
 from __future__ import annotations
@@ -71,10 +78,15 @@ if _numba is not None:  # pragma: no cover - compiled path needs numba
 
 
 def _padded(arr: np.ndarray, width: int) -> np.ndarray:
-    """``arr`` widened with zero columns to ``width`` (no copy if aligned)."""
+    """``arr`` widened with zero columns to ``width`` (no copy if aligned).
+
+    The pad inherits ``arr``'s dtype: a float32 operand must never
+    materialize a float64 temporary here (the silent-upcast bug RPR009
+    now guards against).
+    """
     if arr.shape[1] == width:
         return np.ascontiguousarray(arr)
-    pad = np.zeros((arr.shape[0], width))
+    pad = np.zeros((arr.shape[0], width), dtype=arr.dtype)
     pad[:, : arr.shape[1]] = arr
     return pad
 
@@ -90,25 +102,35 @@ class NumbaBackend(KernelBackend):
 
     def matmat(self, matrix, x: np.ndarray) -> np.ndarray:
         plan = matrix._get_plan()
-        out = np.zeros((x.shape[0], matrix.mb * matrix.p))
+        data = matrix._kernel_data()
+        out = np.zeros(
+            (x.shape[0], matrix.mb * matrix.p),
+            dtype=np.result_type(data, x),
+        )
         _matmat_kernel(
-            matrix.data, plan.cols, _padded(x, matrix.nb * matrix.p), out
+            data, plan.cols, _padded(x, matrix.nb * matrix.p), out
         )
         return out[:, : matrix.shape[0]]
 
     def rmatmat(self, matrix, y: np.ndarray) -> np.ndarray:
         plan = matrix._get_plan()
         t_src, t_cols = plan.transpose_arrays()
-        out = np.zeros((y.shape[0], matrix.nb * matrix.p))
+        data_flat = matrix._kernel_data().ravel()
+        out = np.zeros(
+            (y.shape[0], matrix.nb * matrix.p),
+            dtype=np.result_type(data_flat, y),
+        )
         _rmatmat_kernel(
-            matrix.data.ravel(), t_src, t_cols,
+            data_flat, t_src, t_cols,
             _padded(y, matrix.mb * matrix.p), out,
         )
         return out[:, : matrix.shape[1]]
 
     def grad_data(self, matrix, x: np.ndarray, dy: np.ndarray) -> np.ndarray:
         plan = matrix._get_plan()
-        grad = np.empty_like(matrix.data)
+        # Gradient w.r.t. the logical weights, in the operands' compute
+        # dtype -- never the storage dtype (int16 codes cannot hold one).
+        grad = np.empty(matrix.data.shape, dtype=np.result_type(x, dy))
         _grad_kernel(
             plan.cols,
             _padded(x, matrix.nb * matrix.p),

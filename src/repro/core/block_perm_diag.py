@@ -33,12 +33,33 @@ sharing one structure (e.g. the per-offset channel matrices of a lowered
 convolution) can share a single plan via
 :meth:`~BlockPermutedDiagonalMatrix.like`.
 
+Value storage
+-------------
+Orthogonally to the index structure, the stored values live in one of
+three ``value_dtype`` modes (see :mod:`repro.core.value_types`):
+``"float64"`` (default, the conformance reference), ``"float32"`` (half
+the hot-path memory traffic; products run end to end in float32), and
+``"int16"`` (fixed-point codes in a
+:class:`~repro.nn.quantization.FixedPointFormat`).  Kernels read values
+through :meth:`~BlockPermutedDiagonalMatrix._kernel_data`, which hands
+them the storage array for the float modes and the codes dequantized to
+float64 for ``int16`` -- the power-of-two scale makes dequantize-then-
+accumulate bitwise equal to accumulate-then-scale, so backends carry no
+scaling logic.  Accumulation policy: float64 and int16 products
+accumulate in float64 (int16 is the software analogue of the paper's
+16-bit weights feeding wide accumulators); float32 accumulates in
+float32, which is where its speedup comes from.
+:meth:`~BlockPermutedDiagonalMatrix.with_value_dtype` converts between
+modes while sharing the cached index plan.
+
 Aliasing contract
 -----------------
 Assigning ``data`` (including at construction) **aliases** the supplied
-float64 array -- no copy -- whenever its padding region is already zero,
-which is always true for shapes divisible by ``p``.  A masked copy is made
-only when padding actually zeroes something.  Consumers rely on the alias:
+array -- no copy -- whenever it is already in the storage dtype with a
+zeroed padding region, which is always true for shapes divisible by
+``p``.  A masked copy is made only when padding actually zeroes
+something (and a cast copy when the dtype differs).  Consumers rely on
+the alias:
 :class:`~repro.nn.layers.perm_diag_linear.PermDiagLinear` points its
 trainable parameter at the same buffer, so in-place optimizer updates are
 visible to the matrix with zero copies.  In-place writes to ``data`` are
@@ -80,6 +101,7 @@ except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
     _scipy_sparse = None
 
 from repro.core import backends as _backends
+from repro.core import value_types as _value_types
 from repro.core.permutation import PermutationSpec
 
 __all__ = ["BlockPermutedDiagonalMatrix", "row_shard_bounds"]
@@ -90,12 +112,47 @@ __all__ = ["BlockPermutedDiagonalMatrix", "row_shard_bounds"]
 # the chunked transposed path for large products.
 _GATHER_ELEMENT_LIMIT = 50_000_000
 
-# Version tag of the _IndexPlan.to_bytes() wire format.
-_PLAN_FORMAT_VERSION = 1
+# Version tag of the _IndexPlan.to_bytes() wire format.  Version 2 added
+# the optional value-dtype tag (``vd``/``fp`` keys); version-1 blobs are
+# still accepted and read as untagged (float64-era) plans.
+_PLAN_FORMAT_VERSION = 2
+_PLAN_MIN_FORMAT_VERSION = 1
 
 # Lazily-built plan members, as (serialization key, attribute) pairs; each
 # is a tuple of arrays when built, None otherwise.
 _PLAN_LAZY_FIELDS = (("t", "_t_arrays"), ("sc", "_support_coords"))
+
+
+def _resolve_value_dtype(value_dtype, fixed_point):
+    """Canonical ``(name, format)`` for a constructor's value-dtype args.
+
+    ``None`` follows the process default
+    (:func:`repro.core.value_types.default_value_dtype`).  ``int16``
+    requires an explicit format here -- only
+    :meth:`BlockPermutedDiagonalMatrix.with_value_dtype` derives one,
+    because deriving needs the values.
+    """
+    if value_dtype is None:
+        name = _value_types.default_value_dtype()
+    else:
+        name = _value_types.validate_value_dtype(value_dtype)
+    if name == "int16":
+        if fixed_point is None:
+            raise ValueError(
+                "int16 value storage needs an explicit FixedPointFormat "
+                "(fixed_point=...); use with_value_dtype() to derive one "
+                "from existing values"
+            )
+        if fixed_point.total_bits > 16:
+            raise ValueError(
+                f"int16 storage holds at most 16-bit codes, got "
+                f"total_bits={fixed_point.total_bits}"
+            )
+    elif fixed_point is not None:
+        raise ValueError(
+            f"fixed_point only applies to int16 value storage, not {name!r}"
+        )
+    return name, fixed_point
 
 
 @contextlib.contextmanager
@@ -195,6 +252,12 @@ class _IndexPlan:
         self._t_arrays: tuple[np.ndarray, np.ndarray] | None = None
         self._support_coords: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._csr_structs: dict[bool, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # Serialization metadata only (plans are value-free and shared
+        # across dtype siblings): the value dtype of the matrix whose
+        # plan_bytes() produced a deserialized plan, used by from_plan()
+        # to restore a matrix at its persisted precision.
+        self.value_dtype_hint: str | None = None
+        self.fixed_point_hint: tuple[int, int] | None = None
 
     def support_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(flat, rows, cols)`` of every in-bounds slot, each 1-D.
@@ -328,6 +391,8 @@ class _IndexPlan:
             shard._t_arrays = None
         shard._support_coords = None
         shard._csr_structs = {}
+        shard.value_dtype_hint = None
+        shard.fixed_point_hint = None
         return shard
 
     # ------------------------------------------------------------------
@@ -343,7 +408,12 @@ class _IndexPlan:
         self.csr_struct(True)
         return self
 
-    def to_bytes(self, warm: bool = True) -> bytes:
+    def to_bytes(
+        self,
+        warm: bool = True,
+        value_dtype: str | None = None,
+        fixed_point=None,
+    ) -> bytes:
         """Serialize the plan (an ``.npz`` payload) for later reattachment.
 
         With ``warm`` (the default) every lazy member is built first, so a
@@ -351,6 +421,12 @@ class _IndexPlan:
         arithmetic -- the property deployment surfaces rely on.  Pass
         ``warm=False`` to persist only what has been built so far (e.g. a
         forward-only plan for an inference-only artifact).
+
+        ``value_dtype``/``fixed_point`` (normally supplied by
+        :meth:`BlockPermutedDiagonalMatrix.plan_bytes`) tag the payload
+        with the owning matrix's value-storage mode so
+        :meth:`BlockPermutedDiagonalMatrix.from_plan` can restore it at
+        the persisted precision.
         """
         if warm:
             self.warm()
@@ -364,6 +440,15 @@ class _IndexPlan:
             "cols": self.cols,
             "support": self.support,
         }
+        if value_dtype is not None:
+            payload["vd"] = np.asarray(
+                _value_types.validate_value_dtype(value_dtype)
+            )
+            if fixed_point is not None:
+                payload["fp"] = np.asarray(
+                    [fixed_point.total_bits, fixed_point.frac_bits],
+                    dtype=np.int64,
+                )
         for key, attr in _PLAN_LAZY_FIELDS:
             value = getattr(self, attr)
             if value is not None:
@@ -385,12 +470,21 @@ class _IndexPlan:
         """
         with np.load(io.BytesIO(bytes(blob))) as archive:
             version = int(archive["version"])
-            if version != _PLAN_FORMAT_VERSION:
+            if not _PLAN_MIN_FORMAT_VERSION <= version <= _PLAN_FORMAT_VERSION:
                 raise ValueError(
                     f"unsupported index-plan format version {version} "
-                    f"(expected {_PLAN_FORMAT_VERSION})"
+                    f"(expected {_PLAN_MIN_FORMAT_VERSION}.."
+                    f"{_PLAN_FORMAT_VERSION})"
                 )
             plan = cls.__new__(cls)
+            plan.value_dtype_hint = (
+                str(archive["vd"]) if "vd" in archive.files else None
+            )
+            plan.fixed_point_hint = (
+                tuple(int(v) for v in archive["fp"])
+                if "fp" in archive.files
+                else None
+            )
             plan.p = int(archive["p"])
             plan.shape = tuple(int(v) for v in archive["shape"])
             plan.nnz = int(archive["nnz"])
@@ -448,14 +542,22 @@ class BlockPermutedDiagonalMatrix:
 
     Args:
         data: array of shape ``(mb, nb, p)`` with the non-zero values.
-            Aliased, not copied, when already float64 with a zeroed padding
-            region (the aliasing contract -- see the module docstring).
+            Aliased, not copied, when already in the storage dtype with a
+            zeroed padding region (the aliasing contract -- see the module
+            docstring).  For ``int16`` storage this must hold integer
+            fixed-point *codes*, not float values.
         ks: integer array of shape ``(mb, nb)`` with per-block permutation
             parameters (reduced modulo ``p``).
         shape: logical ``(m, n)``; defaults to the padded ``(mb*p, nb*p)``.
         backend: pin this matrix to a named kernel backend (``"gather"``,
             ``"csr"``, ``"numba"``); ``None`` follows the process default
             (see :mod:`repro.core.backends`).
+        value_dtype: value-storage mode (``"float64"``, ``"float32"``,
+            ``"int16"``); ``None`` follows the process default (see
+            :mod:`repro.core.value_types`).
+        fixed_point: the :class:`~repro.nn.quantization.FixedPointFormat`
+            the stored codes are in; required for (and exclusive to)
+            ``int16`` storage.
     """
 
     def __init__(
@@ -464,8 +566,13 @@ class BlockPermutedDiagonalMatrix:
         ks: np.ndarray,
         shape: tuple[int, int] | None = None,
         backend: str | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
     ) -> None:
-        data = np.asarray(data, dtype=np.float64)
+        self._value_dtype, self._fixed_point = _resolve_value_dtype(
+            value_dtype, fixed_point
+        )
+        data = self._coerce_values(data)
         ks = np.asarray(ks, dtype=np.int64)
         if data.ndim != 3:
             raise ValueError(f"data must have shape (mb, nb, p), got {data.shape}")
@@ -517,9 +624,40 @@ class BlockPermutedDiagonalMatrix:
         """
         return self._data
 
+    def _coerce_values(self, value: np.ndarray) -> np.ndarray:
+        """``value`` in the storage dtype, aliasing whenever possible.
+
+        The float modes cast (``np.asarray`` aliases when the dtype
+        already matches).  ``int16`` storage holds fixed-point *codes*:
+        float input is rejected rather than silently quantized -- encode
+        through :meth:`with_value_dtype` -- and wider integer input is
+        range-checked before narrowing.
+        """
+        if self._value_dtype == "int16":
+            value = np.asarray(value)
+            if value.dtype == np.int16:
+                return value
+            if value.dtype.kind not in "iu":
+                raise TypeError(
+                    f"int16 value storage holds fixed-point codes; got "
+                    f"{value.dtype} values (encode via with_value_dtype)"
+                )
+            info = np.iinfo(np.int16)
+            if value.size and (
+                value.min() < info.min or value.max() > info.max
+            ):
+                raise ValueError(
+                    f"integer codes outside the int16 range "
+                    f"[{info.min}, {info.max}]"
+                )
+            return value.astype(np.int16)
+        return np.asarray(
+            value, dtype=_value_types.storage_dtype(self._value_dtype)
+        )
+
     @data.setter
     def data(self, value: np.ndarray) -> None:
-        value = np.asarray(value, dtype=np.float64)
+        value = self._coerce_values(value)
         mb, nb = self._ks.shape
         if value.shape != (mb, nb, self.p):
             raise ValueError(
@@ -530,6 +668,91 @@ class BlockPermutedDiagonalMatrix:
             if np.any(value[~support]):
                 value = value * support  # force padding region to zero
         self._data = value
+
+    # ------------------------------------------------------------------
+    # Value storage
+    # ------------------------------------------------------------------
+
+    @property
+    def value_dtype(self) -> str:
+        """Value-storage mode: ``"float64"``, ``"float32"`` or ``"int16"``."""
+        return self._value_dtype
+
+    @property
+    def fixed_point(self):
+        """The codes' :class:`~repro.nn.quantization.FixedPointFormat`
+        (``int16`` storage only; ``None`` for the float modes)."""
+        return self._fixed_point
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The dtype products cast inputs to and accumulate in.
+
+        ``float32`` storage computes in float32 (the speedup); everything
+        else -- including ``int16``, whose codes are dequantized -- runs
+        the float64 reference arithmetic.
+        """
+        if self._value_dtype == "float32":
+            return np.dtype(np.float32)
+        return np.dtype(np.float64)
+
+    def _kernel_data(self) -> np.ndarray:
+        """Values as kernel backends consume them.
+
+        The storage array itself for the float modes (zero-copy); for
+        ``int16``, the codes dequantized to float64 in one fused multiply
+        (exact: the scale is a power of two).  Backends must read values
+        through this, never :attr:`data`, so they stay dtype-agnostic.
+        """
+        if self._value_dtype == "int16":
+            from repro.nn.quantization import decode_fixed_point
+
+            return decode_fixed_point(self._data, self._fixed_point)
+        return self._data
+
+    def with_value_dtype(
+        self, value_dtype: str, fixed_point=None
+    ) -> "BlockPermutedDiagonalMatrix":
+        """Sibling holding the same logical weights at another value dtype.
+
+        Shares this matrix's cached index plan (like :meth:`like`).
+        Converting *to* ``int16`` encodes the logical (dequantized, for an
+        int16 source) float64 values into fixed-point codes, deriving a
+        covering :class:`~repro.nn.quantization.FixedPointFormat` when
+        ``fixed_point`` is omitted; converting to a float mode decodes.
+        A no-op conversion (same dtype, no new format) aliases storage.
+        """
+        name = _value_types.validate_value_dtype(value_dtype)
+        logical = np.asarray(self._kernel_data(), dtype=np.float64)
+        if name == "int16":
+            from repro.nn.quantization import (
+                choose_fixed_point_format,
+                encode_fixed_point,
+            )
+
+            fmt = fixed_point or choose_fixed_point_format(logical)
+            data = encode_fixed_point(logical, fmt)
+        else:
+            if fixed_point is not None:
+                raise ValueError(
+                    f"fixed_point only applies to int16 value storage, "
+                    f"not {name!r}"
+                )
+            fmt = None
+            data = logical.astype(
+                _value_types.storage_dtype(name), copy=False
+            )
+        out = self.__class__.__new__(self.__class__)
+        out.p = self.p
+        out._ks = self._ks
+        out._shape = self._shape
+        out._plan = self._get_plan()
+        out._csr_cache = {}
+        out._backend = self._backend
+        out._value_dtype = name
+        out._fixed_point = fmt
+        out.data = data
+        return out
 
     # ------------------------------------------------------------------
     # Backend selection
@@ -634,6 +857,8 @@ class BlockPermutedDiagonalMatrix:
         out._plan = self._get_plan()
         out._csr_cache = {}
         out._backend = self._backend
+        out._value_dtype = self._value_dtype
+        out._fixed_point = self._fixed_point
         out.data = data
         return out
 
@@ -660,6 +885,8 @@ class BlockPermutedDiagonalMatrix:
         out._plan = plan
         out._csr_cache = {}
         out._backend = self._backend
+        out._value_dtype = self._value_dtype
+        out._fixed_point = self._fixed_point
         out.data = self._data[start_block:stop_block]
         return out
 
@@ -690,9 +917,15 @@ class BlockPermutedDiagonalMatrix:
 
         Persist this next to the packed values and rebuild with
         :meth:`from_plan` (or reattach with :meth:`adopt_plan`) to skip all
-        index arithmetic at load time.
+        index arithmetic at load time.  The blob is tagged with this
+        matrix's value dtype (and fixed-point format, if any) so
+        :meth:`from_plan` restores the persisted precision by default.
         """
-        return self._get_plan().to_bytes(warm=warm)
+        return self._get_plan().to_bytes(
+            warm=warm,
+            value_dtype=self._value_dtype,
+            fixed_point=self._fixed_point,
+        )
 
     def adopt_plan(
         self, plan: "_IndexPlan | bytes"
@@ -728,16 +961,45 @@ class BlockPermutedDiagonalMatrix:
         plan: "_IndexPlan | bytes",
         data: np.ndarray,
         backend: str | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
     ) -> "BlockPermutedDiagonalMatrix":
         """Matrix around a precomputed plan: **no index arithmetic runs**.
 
         The inverse of (:meth:`plan_bytes`, :meth:`to_q`): deployment
         surfaces persist both and reconstruct here, paying only the
         deserialization.  ``data`` follows the aliasing contract.
+
+        The value dtype is resolved in order: the explicit arguments, the
+        dtype tag a version-2 plan blob carries (what
+        :meth:`plan_bytes` recorded), then the dtype of ``data`` itself.
+        Untagged ``int16`` data is ambiguous -- codes are meaningless
+        without their format -- and is rejected rather than guessed.
         """
         if isinstance(plan, (bytes, bytearray, memoryview)):
             plan = _IndexPlan.from_bytes(plan)
+        if value_dtype is None:
+            value_dtype = plan.value_dtype_hint
+            if fixed_point is None and plan.fixed_point_hint is not None:
+                from repro.nn.quantization import FixedPointFormat
+
+                fixed_point = FixedPointFormat(*plan.fixed_point_hint)
+        if value_dtype is None:
+            kind = np.asarray(data).dtype
+            if kind == np.float32:
+                value_dtype = "float32"
+            elif kind == np.int16:
+                raise ValueError(
+                    "int16 data needs its FixedPointFormat: pass "
+                    "value_dtype='int16' and fixed_point=..., or use a "
+                    "dtype-tagged plan blob"
+                )
+            else:
+                value_dtype = "float64"
         out = cls.__new__(cls)
+        out._value_dtype, out._fixed_point = _resolve_value_dtype(
+            value_dtype, fixed_point
+        )
         out.p = plan.p
         out._ks = plan.ks
         out._shape = plan.shape
@@ -759,6 +1021,8 @@ class BlockPermutedDiagonalMatrix:
         spec: PermutationSpec | None = None,
         ks: np.ndarray | None = None,
         backend: str | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
     ) -> "BlockPermutedDiagonalMatrix":
         """All-zero matrix of logical ``shape`` with block size ``p``."""
         m, n = shape
@@ -766,7 +1030,15 @@ class BlockPermutedDiagonalMatrix:
         if ks is None:
             spec = spec or PermutationSpec()
             ks = spec.generate(mb * nb, p).reshape(mb, nb)
-        return cls(np.zeros((mb, nb, p)), ks, shape=shape, backend=backend)
+        name, fmt = _resolve_value_dtype(value_dtype, fixed_point)
+        return cls(
+            np.zeros((mb, nb, p), dtype=_value_types.storage_dtype(name)),
+            ks,
+            shape=shape,
+            backend=backend,
+            value_dtype=name,
+            fixed_point=fmt,
+        )
 
     @classmethod
     def random(
@@ -777,19 +1049,44 @@ class BlockPermutedDiagonalMatrix:
         scale: float | None = None,
         rng: np.random.Generator | int | None = None,
         backend: str | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
     ) -> "BlockPermutedDiagonalMatrix":
         """Gaussian-initialized PD matrix.
 
         ``scale`` defaults to ``sqrt(p / n)``: each output unit receives
         ``n / p`` non-zero inputs, so this matches He/Glorot-style fan-in
         scaling on the *effective* (sparse) fan-in.
+
+        For ``value_dtype="int16"`` the samples are drawn at float64 and
+        then encoded (deriving a covering format when ``fixed_point`` is
+        omitted), so the same seed yields the same underlying weights at
+        every precision.
         """
-        out = cls.zeros(shape, p, spec=spec, backend=backend)
+        requested = (
+            _value_types.validate_value_dtype(value_dtype)
+            if value_dtype is not None
+            else _value_types.default_value_dtype()
+        )
+        out = cls.zeros(
+            shape,
+            p,
+            spec=spec,
+            backend=backend,
+            value_dtype="float64" if requested == "int16" else requested,
+        )
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         if scale is None:
             scale = float(np.sqrt(p / max(shape[1], 1)))
         out.data = rng.normal(0.0, scale, size=out.data.shape)
+        if requested == "int16":
+            return out.with_value_dtype("int16", fixed_point=fixed_point)
+        if fixed_point is not None:
+            raise ValueError(
+                f"fixed_point only applies to int16 value storage, "
+                f"not {requested!r}"
+            )
         return out
 
     @classmethod
@@ -800,21 +1097,35 @@ class BlockPermutedDiagonalMatrix:
         ks: np.ndarray | None = None,
         spec: PermutationSpec | None = None,
         backend: str | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
     ) -> "BlockPermutedDiagonalMatrix":
         """Project a dense matrix onto the PD support (keep on-diagonal entries).
 
         For fixed ``ks`` this is the optimal approximation in the L2 sense
         (Sec. III-F): the kept entries are untouched and everything off the
         support contributes its full energy to the error no matter what.
+        The projection runs at float64; a reduced-precision ``value_dtype``
+        is applied to the result (via :meth:`with_value_dtype`).
         """
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 2:
             raise ValueError(f"expected 2-D matrix, got shape {dense.shape}")
-        out = cls.zeros(dense.shape, p, spec=spec, ks=ks, backend=backend)
+        requested = (
+            _value_types.validate_value_dtype(value_dtype)
+            if value_dtype is not None
+            else _value_types.default_value_dtype()
+        )
+        out = cls.zeros(
+            dense.shape, p, spec=spec, ks=ks, backend=backend,
+            value_dtype="float64",
+        )
         flat, rows, cols = out._get_plan().support_coords()
         data = np.zeros(out.data.shape)
         data.reshape(-1)[flat] = dense[rows, cols]
         out.data = data
+        if requested != "float64" or fixed_point is not None:
+            return out.with_value_dtype(requested, fixed_point=fixed_point)
         return out
 
     # ------------------------------------------------------------------
@@ -877,10 +1188,15 @@ class BlockPermutedDiagonalMatrix:
         return mask
 
     def to_dense(self) -> np.ndarray:
-        """Materialize the full ``m x n`` dense array."""
+        """Materialize the full ``m x n`` dense array.
+
+        Always float64, holding the *logical* weights (fixed-point codes
+        come out dequantized) -- the reference the conformance tolerances
+        are stated against.
+        """
         dense = np.zeros(self.shape)
         flat, rows, cols = self._get_plan().support_coords()
-        dense[rows, cols] = self._data.reshape(-1)[flat]
+        dense[rows, cols] = self._kernel_data().reshape(-1)[flat]
         return dense
 
     def to_q(self) -> np.ndarray:
@@ -888,6 +1204,8 @@ class BlockPermutedDiagonalMatrix:
 
         ``q[l*p + c]`` is the row-``c`` non-zero of block ``l = bi*nb + bj``,
         matching the paper's storage of "only the mn/p-length vector q".
+        Returned in the storage dtype (fixed-point codes for ``int16``),
+        so persisting ``q`` keeps the compressed footprint.
         """
         return self._data.reshape(-1).copy()
 
@@ -899,11 +1217,13 @@ class BlockPermutedDiagonalMatrix:
         p: int,
         ks: np.ndarray,
         backend: str | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
     ) -> "BlockPermutedDiagonalMatrix":
         """Rebuild from a packed ``q`` vector (inverse of :meth:`to_q`)."""
         m, n = shape
         mb, nb = -(-m // p), -(-n // p)
-        q = np.asarray(q, dtype=np.float64)
+        q = np.asarray(q)
         if q.size != mb * nb * p:
             raise ValueError(
                 f"q has {q.size} entries, expected {mb * nb * p} for "
@@ -914,6 +1234,8 @@ class BlockPermutedDiagonalMatrix:
             np.asarray(ks).reshape(mb, nb),
             shape=shape,
             backend=backend,
+            value_dtype=value_dtype,
+            fixed_point=fixed_point,
         )
 
     def transpose(self) -> "BlockPermutedDiagonalMatrix":
@@ -927,7 +1249,11 @@ class BlockPermutedDiagonalMatrix:
         data_t = self._data.ravel()[t_src]
         ks_t = (-self._ks.T) % self.p
         return BlockPermutedDiagonalMatrix(
-            data_t, ks_t, shape=(self.shape[1], self.shape[0])
+            data_t,
+            ks_t,
+            shape=(self.shape[1], self.shape[0]),
+            value_dtype=self._value_dtype,
+            fixed_point=self._fixed_point,
         )
 
     # ------------------------------------------------------------------
@@ -938,12 +1264,24 @@ class BlockPermutedDiagonalMatrix:
         """Global input column index feeding each stored slot, ``(mb, nb, p)``."""
         return self._get_plan().cols
 
+    def _csr_values(self, perm: np.ndarray) -> np.ndarray:
+        """CSR value buffer in the compute dtype: an ``nnz``-sized gather,
+        fused with the dequantizing multiply for ``int16`` codes."""
+        gathered = self._data.ravel()[perm]
+        if self._value_dtype == "int16":
+            from repro.nn.quantization import decode_fixed_point
+
+            return decode_fixed_point(gathered, self._fixed_point)
+        return gathered
+
     def _csr(self, transposed: bool):
         """Cached ``scipy.sparse.csr_matrix`` view of ``W`` (or ``W.T``).
 
         The skeleton comes from the index plan; only ``nnz`` values are
         re-gathered per call, so in-place weight updates are always
-        reflected.
+        reflected.  The value buffer is in the compute dtype (float32 for
+        float32 storage -- scipy's spmm then moves and multiplies half the
+        bytes -- float64 otherwise).
         """
         key = bool(transposed)
         plan = self._get_plan()
@@ -952,17 +1290,17 @@ class BlockPermutedDiagonalMatrix:
             indptr, indices, perm = plan.csr_struct(key)
             shape = (self.shape[1], self.shape[0]) if transposed else self.shape
             mat = _scipy_sparse.csr_matrix(
-                (self._data.ravel()[perm], indices, indptr), shape=shape
+                (self._csr_values(perm), indices, indptr), shape=shape
             )
             self._csr_cache[key] = (plan, mat, perm)
         else:
             _, mat, perm = entry
-            mat.data[:] = self._data.ravel()[perm]
+            mat.data[:] = self._csr_values(perm)
         return self._csr_cache[key][1]
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """``y = W @ x`` touching only the ``m*n/p`` stored weights."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if x.shape != (self.shape[1],):
             raise ValueError(f"expected x of shape ({self.shape[1]},), got {x.shape}")
         return self._resolve_backend().matvec(self, x)
@@ -972,9 +1310,10 @@ class BlockPermutedDiagonalMatrix:
 
         In dense terms ``Y = X @ W.T`` (row-major batch against the logical
         ``(m, n)`` weight): the forward pass of an FC layer (``a = W x`` per
-        sample, Sec. III-B) vectorized over the batch.  Returns ``(B, m)``.
+        sample, Sec. III-B) vectorized over the batch.  Returns ``(B, m)``,
+        in :attr:`compute_dtype`.
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
         if x.ndim != 2 or x.shape[1] != self.shape[1]:
             raise ValueError(
                 f"expected X of shape (B, {self.shape[1]}), got {x.shape}"
@@ -983,7 +1322,7 @@ class BlockPermutedDiagonalMatrix:
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         """``W.T @ y`` (gradient propagation, Eqn. (3)), transpose-free."""
-        y = np.asarray(y, dtype=np.float64)
+        y = np.asarray(y, dtype=self.compute_dtype)
         if y.shape != (self.shape[0],):
             raise ValueError(f"expected y of shape ({self.shape[0]},), got {y.shape}")
         return self._resolve_backend().rmatvec(self, y)
@@ -995,7 +1334,7 @@ class BlockPermutedDiagonalMatrix:
         directly off the cached plan's transposed skeleton -- no
         ``transpose()`` matrix object is constructed.
         """
-        y = np.asarray(y, dtype=np.float64)
+        y = np.asarray(y, dtype=self.compute_dtype)
         if y.ndim != 2 or y.shape[1] != self.shape[0]:
             raise ValueError(
                 f"expected Y of shape (B, {self.shape[0]}), got {y.shape}"
@@ -1014,9 +1353,13 @@ class BlockPermutedDiagonalMatrix:
         Args:
             x: layer input, shape ``(B, n)``.
             dy: upstream gradient, shape ``(B, m)``.
+
+        The result is the gradient w.r.t. the *logical* weights, in
+        :attr:`compute_dtype` -- it never depends on the stored values, so
+        for ``int16`` storage it carries no code scale.
         """
-        x = np.asarray(x, dtype=np.float64)
-        dy = np.asarray(dy, dtype=np.float64)
+        x = np.asarray(x, dtype=self.compute_dtype)
+        dy = np.asarray(dy, dtype=self.compute_dtype)
         if x.ndim != 2 or x.shape[1] != self.shape[1]:
             raise ValueError(
                 f"expected x of shape (B, {self.shape[1]}), got {x.shape}"
@@ -1041,7 +1384,11 @@ class BlockPermutedDiagonalMatrix:
         return NotImplemented
 
     def __repr__(self) -> str:
+        dtype = (
+            "" if self._value_dtype == "float64"
+            else f", value_dtype={self._value_dtype}"
+        )
         return (
             f"BlockPermutedDiagonalMatrix(shape={self.shape}, p={self.p}, "
-            f"blocks={self.mb}x{self.nb}, nnz={self.nnz})"
+            f"blocks={self.mb}x{self.nb}, nnz={self.nnz}{dtype})"
         )

@@ -1,0 +1,134 @@
+"""Value-storage dtypes for :class:`~repro.core.BlockPermutedDiagonalMatrix`.
+
+The matrix stores only the packed non-zero values ``q``; *how* those
+values are stored is independent of the index structure and is described
+by a ``value_dtype`` name:
+
+``"float64"``
+    The historical default.  Bit-compatible with every pre-existing
+    artifact and the reference for all conformance tolerances.
+``"float32"``
+    Half the memory traffic on the hot path.  Products run end to end in
+    float32 (inputs are cast, CSR value buffers stay float32), which is
+    where the speedup comes from.
+``"int16"``
+    Fixed-point codes in the paper's 16-bit weight format
+    (:class:`repro.nn.quantization.FixedPointFormat`).  Kernels see the
+    codes *dequantized to float64* and accumulate in float64 -- the
+    software analogue of the paper's wide accumulators -- so results are
+    bit-identical to a float64 matrix holding the dequantized weights.
+
+Because the fixed-point scale is a power of two, dequantize-then-
+accumulate equals accumulate-then-scale bit for bit; backends therefore
+carry no scaling logic at all (they read
+``BlockPermutedDiagonalMatrix._kernel_data()``).
+
+Process-wide default resolution mirrors the kernel-backend registry:
+:func:`set_default_value_dtype` wins, then the ``REPRO_VALUE_DTYPE``
+environment variable, then ``"float64"``.  Only the two float modes can
+be process defaults -- ``int16`` needs a per-matrix
+:class:`~repro.nn.quantization.FixedPointFormat` and must be requested
+explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "FLOAT_VALUE_DTYPES",
+    "UnknownValueDtypeError",
+    "VALUE_DTYPES",
+    "default_value_dtype",
+    "set_default_value_dtype",
+    "storage_dtype",
+    "validate_value_dtype",
+]
+
+#: Every supported value-storage mode, in documentation order.
+VALUE_DTYPES = ("float64", "float32", "int16")
+
+#: The subset usable as a process-wide default (no per-matrix format).
+FLOAT_VALUE_DTYPES = ("float64", "float32")
+
+_STORAGE_DTYPES = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+    "int16": np.dtype(np.int16),
+}
+
+_ENV_VAR = "REPRO_VALUE_DTYPE"
+
+_default: str | None = None
+
+
+class UnknownValueDtypeError(ValueError):
+    """Raised for a value-dtype name outside :data:`VALUE_DTYPES`."""
+
+
+def validate_value_dtype(name) -> str:
+    """Canonical name for ``name`` (str or numpy dtype-like), or raise.
+
+    Accepts the canonical strings plus anything ``np.dtype`` resolves to
+    one of the three storage dtypes (``np.float32``, ``"f4"``, ...).
+    """
+    if isinstance(name, str) and name in VALUE_DTYPES:
+        return name
+    try:
+        resolved = np.dtype(name)
+    except TypeError:
+        resolved = None
+    if resolved is not None:
+        for canonical, dtype in _STORAGE_DTYPES.items():
+            if resolved == dtype:
+                return canonical
+    raise UnknownValueDtypeError(
+        f"unknown value_dtype {name!r}; expected one of {VALUE_DTYPES}"
+    )
+
+
+def storage_dtype(name: str) -> np.dtype:
+    """The numpy dtype backing storage for a canonical value-dtype name."""
+    return _STORAGE_DTYPES[validate_value_dtype(name)]
+
+
+def set_default_value_dtype(name: str | None) -> None:
+    """Set (or with ``None`` clear) the process-wide default value dtype.
+
+    Only the float modes are accepted: an ``int16`` matrix needs an
+    explicit per-matrix fixed-point format, so it cannot be a blanket
+    default.  Clearing falls back to ``REPRO_VALUE_DTYPE`` / float64.
+    """
+    global _default
+    if name is None:
+        _default = None
+        return
+    canonical = validate_value_dtype(name)
+    if canonical not in FLOAT_VALUE_DTYPES:
+        raise UnknownValueDtypeError(
+            f"only {FLOAT_VALUE_DTYPES} may be process defaults; "
+            f"request {canonical!r} per matrix with an explicit format"
+        )
+    _default = canonical
+
+
+def default_value_dtype() -> str:
+    """The value dtype a constructor uses when none is requested.
+
+    Resolution order: :func:`set_default_value_dtype`, then the
+    ``REPRO_VALUE_DTYPE`` environment variable, then ``"float64"``.
+    """
+    if _default is not None:
+        return _default
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        canonical = validate_value_dtype(env)
+        if canonical not in FLOAT_VALUE_DTYPES:
+            raise UnknownValueDtypeError(
+                f"{_ENV_VAR}={env!r}: only {FLOAT_VALUE_DTYPES} may be "
+                f"process defaults"
+            )
+        return canonical
+    return "float64"

@@ -54,7 +54,10 @@ __all__ = [
     "load_engine_image",
 ]
 
-_IMAGE_FORMAT_VERSION = 1
+# v2 added per-layer value-dtype tags (``layer{i}_value_dtype`` /
+# ``layer{i}_fixed_point``); v1 images load as float64 layers.
+_IMAGE_FORMAT_VERSION = 2
+_IMAGE_MIN_FORMAT_VERSION = 1
 
 
 class EngineImageBackendError(BackendUnavailableError):
@@ -74,7 +77,9 @@ def export_engine_image(
 ) -> None:
     """Persist a network image the engine can boot without index arithmetic.
 
-    For every layer the image stores the packed ``q`` vector, the structure
+    For every layer the image stores the packed ``q`` vector (in the
+    layer's storage dtype: float32 values or int16 fixed-point codes ride
+    through untouched), its value-dtype tag, the structure
     ``(ks, shape, p)``, the ActU mode, and the **serialized index plan**
     (:meth:`~repro.core.BlockPermutedDiagonalMatrix.plan_bytes`, warmed so
     transpose/CSR skeletons are included).  :func:`load_engine_image` then
@@ -100,6 +105,12 @@ def export_engine_image(
         payload[f"layer{idx}_shape"] = np.asarray(matrix.shape, dtype=np.int64)
         payload[f"layer{idx}_activation"] = np.str_(activation or "")
         payload[f"layer{idx}_backend"] = np.str_(matrix.backend or "")
+        payload[f"layer{idx}_value_dtype"] = np.str_(matrix.value_dtype)
+        fmt = matrix.fixed_point
+        payload[f"layer{idx}_fixed_point"] = np.asarray(
+            [fmt.total_bits, fmt.frac_bits] if fmt is not None else [],
+            dtype=np.int64,
+        )
         payload[f"layer{idx}_plan"] = np.frombuffer(
             matrix.plan_bytes(), dtype=np.uint8
         )
@@ -125,7 +136,8 @@ def load_engine_image(
     Returns:
         ``(matrix, activation)`` pairs ready for
         :meth:`PermDNNEngine.run_network`; every matrix carries its
-        deserialized index plan, so no index arithmetic is recomputed.
+        deserialized index plan, so no index arithmetic is recomputed,
+        and its exported value dtype (v1 images load as float64).
     """
     if missing_backend not in ("error", "fallback"):
         raise ValueError(
@@ -135,18 +147,31 @@ def load_engine_image(
     layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]] = []
     with np.load(path) as archive:
         version = int(archive["image_version"])
-        if version != _IMAGE_FORMAT_VERSION:
+        if not _IMAGE_MIN_FORMAT_VERSION <= version <= _IMAGE_FORMAT_VERSION:
             raise ValueError(
-                f"unsupported engine-image version {version} "
-                f"(expected {_IMAGE_FORMAT_VERSION})"
+                f"unsupported engine-image version {version} (supported: "
+                f"{_IMAGE_MIN_FORMAT_VERSION}..{_IMAGE_FORMAT_VERSION})"
             )
         for idx in range(int(archive["num_layers"])):
             ks = archive[f"layer{idx}_ks"]
             p = int(archive[f"layer{idx}_p"])
             mb, nb = ks.shape
+            dtype_key = f"layer{idx}_value_dtype"
+            if dtype_key in archive.files:
+                value_dtype = str(archive[dtype_key])
+                fmt_bits = archive[f"layer{idx}_fixed_point"]
+                fixed_point = (
+                    FixedPointFormat(*(int(v) for v in fmt_bits))
+                    if fmt_bits.size
+                    else None
+                )
+            else:  # v1 image: values were always float64
+                value_dtype, fixed_point = "float64", None
             matrix = BlockPermutedDiagonalMatrix.from_plan(
                 archive[f"layer{idx}_plan"].tobytes(),
                 archive[f"layer{idx}_q"].reshape(mb, nb, p),
+                value_dtype=value_dtype,
+                fixed_point=fixed_point,
             )
             # Cross-check the plan against the image's own metadata so a
             # corrupted or hand-edited archive fails loudly here.
@@ -440,8 +465,20 @@ class PermDNNEngine:
         is what keeps sharded cycle/bit behaviour in lockstep with the
         unsharded baseline by construction.
 
+        The functional result is one batched product
+        (:meth:`~repro.core.BlockPermutedDiagonalMatrix.matmat`) instead
+        of ``B`` python-level mat-vecs -- numerically identical to the
+        per-sample :meth:`run_fc_layer` path (same backend, same
+        accumulation order per output row) but it releases the GIL inside
+        a single kernel call, which is what makes the serving runtime's
+        shard threads (:mod:`repro.serve.server`) actually overlap.  The
+        cycle accounting below is the per-sample model evaluated for the
+        whole batch at once; every counter matches the sample-by-sample
+        loop it replaced exactly.
+
         Returns:
-            ``(outputs, total_cycles, macs)``.
+            ``(outputs, total_cycles, macs)``; ``outputs`` is in the
+            matrix's compute dtype (float32 storage serves float32).
         """
         x_batch = np.asarray(x_batch, dtype=np.float64)
         if x_batch.ndim != 2 or x_batch.shape[1] != matrix.shape[1]:
@@ -449,20 +486,58 @@ class PermDNNEngine:
                 f"expected batch of shape (B, {matrix.shape[1]}), got "
                 f"{x_batch.shape}"
             )
-        outputs = np.empty((x_batch.shape[0], matrix.shape[0]))
-        total = self.config.pipeline_stages
-        macs = 0
-        for row, x in enumerate(x_batch):
-            result = self.run_fc_layer(
-                matrix,
-                x,
-                activation=activation,
-                zero_skip=zero_skip,
-                enforce_capacity=enforce_capacity,
+        if activation not in (None, "relu", "tanh"):
+            raise ValueError(
+                f"unsupported activation {activation!r} (ActU has relu/tanh)"
             )
-            outputs[row] = result.output
-            total += result.compute_cycles + result.writeback_cycles
-            macs += result.macs
+        if enforce_capacity:
+            self.check_capacity(matrix)
+        config = self.config
+        pe = config.pe
+
+        outputs = matrix.matmat(x_batch)
+        if activation == "relu":
+            outputs = np.maximum(outputs, 0.0)
+        elif activation == "tanh":
+            outputs = np.tanh(outputs)
+
+        batch = x_batch.shape[0]
+        if zero_skip:
+            nnz_per = np.count_nonzero(x_batch, axis=1)
+        else:
+            nnz_per = np.full(batch, x_batch.shape[1], dtype=np.int64)
+        n_rowpe = self.rows_per_pe(matrix.shape[0])
+        schedule = cycles_per_column(n_rowpe, matrix.p, pe.n_mul, pe.n_acc)
+        if schedule.case == 3:
+            compute_per = np.ceil(
+                nnz_per / schedule.columns_per_cycle
+            ).astype(np.int64)
+        else:
+            compute_per = int(schedule.cycles_per_column) * nnz_per
+        compute_total = int(compute_per.sum())
+        writeback = math.ceil(
+            matrix.shape[0] / config.activations_written_per_cycle
+        )
+        total = config.pipeline_stages + compute_total + batch * writeback
+        # Same rounding as run_fc_layer, sample by sample (round-half-even
+        # on the exact per-sample expression, then summed).
+        macs = sum(
+            int(round(int(nnz_x) * matrix.nnz / matrix.shape[1]))
+            for nnz_x in nnz_per
+        )
+
+        # exercise the FIFO model exactly as the per-sample path does
+        for nnz_x in nnz_per:
+            fifo = FIFO(config.act_fifo_depth)
+            for idx in range(min(int(nnz_x), config.act_fifo_depth)):
+                fifo.push(idx)
+
+        # SRAM counters are additive, so the batch sum lands the same
+        # totals as B per-sample calls.
+        self.weight_sram.read(compute_total)
+        self.perm_sram.read(compute_total)
+        self.act_sram.read(int(nnz_per.sum()))
+        self.act_sram.write(batch * writeback)
         return outputs, total, macs
 
     def run_network(

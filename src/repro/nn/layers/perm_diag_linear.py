@@ -52,8 +52,18 @@ class PermDiagLinear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.p = p
+        # Training stays float64 regardless of the process value-dtype
+        # default: Parameter buffers are float64, and a reduced-precision
+        # matrix could not alias one (the assignment below would silently
+        # copy, decoupling optimizer updates from the served weights).
+        # Reduced precision is a serving-time export (with_value_dtype).
         matrix = BlockPermutedDiagonalMatrix.random(
-            (out_features, in_features), p, spec=spec, rng=rng, backend=backend
+            (out_features, in_features),
+            p,
+            spec=spec,
+            rng=rng,
+            backend=backend,
+            value_dtype="float64",
         )
         self._matrix = matrix
         # Aliasing contract: Parameter and matrix share one buffer, so
@@ -93,6 +103,15 @@ class PermDiagLinear(Module):
         trainable parameter aliases the matrix's storage.  No structure
         fields are mutated behind the matrix's validation.
         """
+        if matrix.value_dtype != "float64":
+            raise TypeError(
+                f"PermDiagLinear trains through a float64 Parameter that "
+                f"aliases the matrix storage; {matrix.value_dtype!r} value "
+                f"storage cannot alias it (the adoption would silently copy "
+                f"and optimizer updates would never reach the matrix). "
+                f"Convert with matrix.with_value_dtype('float64') first -- "
+                f"reduced precision is a serving-time export."
+            )
         m, n = matrix.shape
         layer = cls.__new__(cls)
         Module.__init__(layer)

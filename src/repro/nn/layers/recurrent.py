@@ -59,8 +59,12 @@ class _PDOp(Module):
         rng,
     ) -> None:
         super().__init__()
+        # Training stays float64 regardless of the process value-dtype
+        # default -- a reduced-precision matrix cannot alias the float64
+        # Parameter buffer below (see PermDiagLinear).
         matrix = BlockPermutedDiagonalMatrix.random(
-            (out_features, in_features), p, spec=spec, rng=rng
+            (out_features, in_features), p, spec=spec, rng=rng,
+            value_dtype="float64",
         )
         self.matrix = matrix
         # Aliasing contract: Parameter and matrix share one buffer, so

@@ -15,10 +15,33 @@ import numpy as np
 
 __all__ = [
     "FixedPointFormat",
+    "InvalidFixedPointScaleError",
     "WeightSharingCodebook",
     "choose_fixed_point_format",
+    "decode_fixed_point",
+    "encode_fixed_point",
     "quantize_fixed_point",
 ]
+
+
+class InvalidFixedPointScaleError(ValueError):
+    """Raised when a fixed-point format's scale is zero/negative/non-finite.
+
+    :class:`FixedPointFormat` itself cannot produce such a scale, but the
+    quantization entry points accept any duck-typed format object; a bad
+    ``scale`` would otherwise turn every weight into NaN/inf *silently*
+    (``x / 0`` under numpy warns at most).
+    """
+
+
+def _validate_scale(fmt) -> float:
+    scale = float(fmt.scale)
+    if not np.isfinite(scale) or scale <= 0.0:
+        raise InvalidFixedPointScaleError(
+            f"fixed-point scale must be positive and finite, got {scale!r} "
+            f"from {fmt!r}"
+        )
+    return scale
 
 
 @dataclass(frozen=True)
@@ -82,8 +105,41 @@ def quantize_fixed_point(
     values = np.asarray(values, dtype=np.float64)
     if fmt is None:
         fmt = choose_fixed_point_format(values, total_bits)
-    quantized = np.round(values * fmt.scale) / fmt.scale
+    scale = _validate_scale(fmt)
+    quantized = np.round(values * scale) / scale
     return np.clip(quantized, fmt.min_value, fmt.max_value)
+
+
+def encode_fixed_point(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Saturating int16 codes: ``round(values * scale)`` clipped to range.
+
+    The code range is the format's own ``[min_value, max_value] * scale``
+    (narrower than int16 when ``total_bits < 16``), so
+    :func:`decode_fixed_point` of the result equals
+    :func:`quantize_fixed_point` exactly.  Formats wider than 16 bits do
+    not fit the storage word and are rejected.
+    """
+    if fmt.total_bits > 16:
+        raise ValueError(
+            f"int16 storage holds at most 16-bit codes, got "
+            f"total_bits={fmt.total_bits}"
+        )
+    scale = _validate_scale(fmt)
+    values = np.asarray(values, dtype=np.float64)
+    lo = -(2 ** (fmt.total_bits - 1))
+    hi = 2 ** (fmt.total_bits - 1) - 1
+    return np.clip(np.round(values * scale), lo, hi).astype(np.int16)
+
+
+def decode_fixed_point(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Float64 values for int16 codes (inverse of :func:`encode_fixed_point`).
+
+    A single fused multiply: ``codes * (1 / scale)``.  The scale is a
+    power of two, so the division is exact and decode-then-accumulate in
+    float64 is bitwise identical to accumulating codes and scaling once.
+    """
+    scale = _validate_scale(fmt)
+    return np.asarray(codes) * np.float64(1.0 / scale)
 
 
 class WeightSharingCodebook:

@@ -53,6 +53,8 @@ def _pd_matrices(model: Module) -> list[BlockPermutedDiagonalMatrix]:
 
 def model_engine_layers(
     model: Module,
+    value_dtype: str | None = None,
+    fixed_point=None,
 ) -> list[tuple[BlockPermutedDiagonalMatrix, str | None]]:
     """Flatten an FC model into engine-servable ``(matrix, activation)`` pairs.
 
@@ -64,9 +66,16 @@ def model_engine_layers(
     carrying a non-zero bias (the engine computes ``W x`` only) -- raises
     ``ValueError`` rather than silently serving the wrong function.
 
-    The returned matrices are the layers' **live** structured matrices
-    (aliased storage, cached plans), so exporting or serving them reflects
-    in-place weight updates with zero copies.
+    With ``value_dtype=None`` (default) the returned matrices are the
+    layers' **live** structured matrices (aliased storage, cached plans),
+    so exporting or serving them reflects in-place weight updates with
+    zero copies.  Passing ``value_dtype`` (``"float32"`` / ``"int16"``,
+    optionally with a ``fixed_point`` format) instead converts each layer
+    through
+    :meth:`~repro.core.BlockPermutedDiagonalMatrix.with_value_dtype` --
+    quantize-at-export: the serving copies hold reduced-precision storage
+    (still sharing the training matrices' index plans) while training
+    itself stays float64.
     """
     layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]] = []
     pending_activation = False  # True after a PD layer, before an activation
@@ -99,6 +108,15 @@ def model_engine_layers(
             )
     if not layers:
         raise ValueError("model contains no PermDiagLinear layers")
+    if value_dtype is not None:
+        layers = [
+            (matrix.with_value_dtype(value_dtype, fixed_point=fixed_point), act)
+            for matrix, act in layers
+        ]
+    elif fixed_point is not None:
+        raise ValueError(
+            "fixed_point requires value_dtype='int16' (got value_dtype=None)"
+        )
     return layers
 
 

@@ -16,6 +16,7 @@ Used by both ``repro serve-bench`` (CLI) and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -116,6 +117,12 @@ class ServingBenchReport:
     outputs_match: bool
     batch_sizes: list[int] = field(default_factory=list)
     layer_cycles: list[int] = field(default_factory=list)
+    # Host-side execution facts: simulated metrics above are independent
+    # of both (threading stitches shard outputs deterministically, and
+    # the cycle model only sees shard shapes).
+    num_threads: int = 1
+    host_wall_s: float = 0.0
+    value_dtype: str = "float64"
 
 
 def _single_engine_baseline(layers, xs, config):
@@ -143,12 +150,21 @@ def run_serving_sweep(
     scale: int = 1,
     seed: int = 0,
     config: EngineConfig | None = None,
+    num_threads: int | None = 1,
+    value_dtype: str | None = None,
 ) -> list[ServingBenchReport]:
     """Measure the sharded server at several shard counts.
 
     The workload (layers, requests) and the single-engine baseline are
     built **once** and reused for every shard count, so a sweep costs one
     baseline pass rather than one per row.
+
+    ``value_dtype`` converts the stack's value storage before serving
+    (quantize-at-export); the baseline runs on the *same* converted
+    layers, so the bit-for-bit contract holds at every storage mode.
+    ``num_threads`` sizes each drain's shard executor; simulated metrics
+    are independent of it, but ``host_wall_s`` (real drain wall time) is
+    recorded per row so thread counts can be compared honestly.
 
     Returns:
         One :class:`ServingBenchReport` per entry of ``shard_counts``;
@@ -157,6 +173,11 @@ def run_serving_sweep(
     """
     rng = np.random.default_rng(seed)
     layers = build_alexnet_fc_stack(scale=scale, rng=rng)
+    if value_dtype is not None and value_dtype != "float64":
+        layers = [
+            (matrix.with_value_dtype(value_dtype), activation)
+            for matrix, activation in layers
+        ]
     xs = make_requests(layers[0][0].shape[1], num_requests, rng=rng)
     config = config or EngineConfig()
     cycles_per_us = config.clock_ghz * 1e3
@@ -179,9 +200,12 @@ def run_serving_sweep(
             config=config,
             max_batch_size=max_batch_size,
             flush_deadline_us=flush_deadline_us,
+            num_threads=num_threads,
         )
         server.submit_many(xs)
+        wall_start = time.perf_counter()
         report = server.drain()
+        host_wall_s = time.perf_counter() - wall_start
         outputs_match = bool(
             np.array_equal(np.stack(report.outputs), baseline_outputs)
         )
@@ -205,6 +229,9 @@ def run_serving_sweep(
             outputs_match=outputs_match,
             batch_sizes=report.batch_sizes,
             layer_cycles=report.layer_cycles,
+            num_threads=server.num_threads,
+            host_wall_s=host_wall_s,
+            value_dtype=value_dtype or "float64",
         ))
     return reports
 
@@ -217,6 +244,8 @@ def run_serving_benchmark(
     scale: int = 1,
     seed: int = 0,
     config: EngineConfig | None = None,
+    num_threads: int | None = 1,
+    value_dtype: str | None = None,
 ) -> ServingBenchReport:
     """One-shard-count convenience wrapper around :func:`run_serving_sweep`."""
     return run_serving_sweep(
@@ -227,6 +256,8 @@ def run_serving_benchmark(
         scale=scale,
         seed=seed,
         config=config,
+        num_threads=num_threads,
+        value_dtype=value_dtype,
     )[0]
 
 
@@ -660,10 +691,13 @@ def format_report(report: ServingBenchReport) -> str:
     """Human-readable summary of a benchmark run."""
     lines = [
         f"workload          : AlexNet-FC stack (scale 1/{report.scale}), "
-        f"{report.num_requests} requests",
+        f"{report.num_requests} requests, "
+        f"{report.value_dtype} value storage",
         f"server            : {report.num_shards} shards, "
+        f"{report.num_threads} host threads, "
         f"max batch {report.max_batch_size}, "
         f"deadline {report.flush_deadline_us:.1f} us",
+        f"host drain wall   : {report.host_wall_s * 1e3:.1f} ms",
         f"batches formed    : {report.batch_sizes}",
         f"baseline          : {report.baseline_rps:,.0f} req/s "
         f"({report.baseline_makespan_us:.1f} us for the set)",

@@ -4,7 +4,9 @@ A bundle is a directory holding ``shard<K>.npz`` engine images (the exact
 :func:`~repro.hw.export_engine_image` format -- each contains shard ``K``'s
 row slice of **every** layer, serialized index plans included) plus a
 ``manifest.json`` describing the model: layer shapes, block sizes,
-activations, and the block-row bounds each shard covers.  Loading a bundle
+activations, per-layer value dtypes (float64 / float32 / int16
+fixed-point storage rides through the shard images untouched), and the
+block-row bounds each shard covers.  Loading a bundle
 therefore cold-starts a whole sharded server without recomputing any index
 arithmetic: every shard matrix is rebuilt through
 :meth:`~repro.core.BlockPermutedDiagonalMatrix.from_plan`.
@@ -20,7 +22,11 @@ from repro.hw.engine import export_engine_image, load_engine_image
 
 __all__ = ["export_model_bundle", "export_sharded_bundle", "load_sharded_bundle"]
 
-_BUNDLE_FORMAT_VERSION = 1
+# v2 added per-layer ``value_dtype`` / ``fixed_point`` manifest entries
+# (cross-checked against the shard images at load); v1 bundles predate
+# reduced-precision storage and always hold float64 layers.
+_BUNDLE_FORMAT_VERSION = 2
+_BUNDLE_MIN_FORMAT_VERSION = 1
 _MANIFEST_NAME = "manifest.json"
 
 
@@ -69,6 +75,15 @@ def export_sharded_bundle(
                 "shape": list(matrix.shape),
                 "p": matrix.p,
                 "activation": activation,
+                "value_dtype": matrix.value_dtype,
+                "fixed_point": (
+                    [
+                        matrix.fixed_point.total_bits,
+                        matrix.fixed_point.frac_bits,
+                    ]
+                    if matrix.fixed_point is not None
+                    else None
+                ),
                 "shard_block_bounds": [
                     list(bounds) for bounds in bounds_per_layer[layer_idx]
                 ],
@@ -82,17 +97,29 @@ def export_sharded_bundle(
         handle.write("\n")
 
 
-def export_model_bundle(directory, model, num_shards: int) -> None:
+def export_model_bundle(
+    directory,
+    model,
+    num_shards: int,
+    value_dtype: str | None = None,
+    fixed_point=None,
+) -> None:
     """Export a trained FC model as a sharded image bundle.
 
     The model is flattened to ``(matrix, activation)`` pairs by
     :func:`repro.nn.serialization.model_engine_layers` (which rejects
     anything the engine cannot serve) and handed to
-    :func:`export_sharded_bundle`.
+    :func:`export_sharded_bundle`.  ``value_dtype`` / ``fixed_point``
+    quantize at export (float32 or int16 fixed-point serving copies;
+    the training weights stay float64).
     """
     from repro.nn.serialization import model_engine_layers
 
-    export_sharded_bundle(directory, model_engine_layers(model), num_shards)
+    export_sharded_bundle(
+        directory,
+        model_engine_layers(model, value_dtype=value_dtype, fixed_point=fixed_point),
+        num_shards,
+    )
 
 
 def load_sharded_bundle(
@@ -124,10 +151,10 @@ def load_sharded_bundle(
     with open(manifest_path, encoding="utf-8") as handle:
         manifest = json.load(handle)
     version = int(manifest.get("bundle_version", -1))
-    if version != _BUNDLE_FORMAT_VERSION:
+    if not _BUNDLE_MIN_FORMAT_VERSION <= version <= _BUNDLE_FORMAT_VERSION:
         raise ValueError(
-            f"unsupported bundle version {version} "
-            f"(expected {_BUNDLE_FORMAT_VERSION})"
+            f"unsupported bundle version {version} (supported: "
+            f"{_BUNDLE_MIN_FORMAT_VERSION}..{_BUNDLE_FORMAT_VERSION})"
         )
     num_shards = int(manifest["num_shards"])
     num_layers = int(manifest["num_layers"])
@@ -150,21 +177,36 @@ def load_sharded_bundle(
         activation = spec["activation"]
         p = int(spec["p"])
         m, n = (int(v) for v in spec["shape"])
+        # v1 manifests predate value dtypes: their images store float64.
+        value_dtype = spec.get("value_dtype", "float64")
+        fixed_point = (
+            tuple(int(v) for v in spec["fixed_point"])
+            if spec.get("fixed_point") is not None
+            else None
+        )
         covered = 0
         for shard_idx in range(num_shards):
             matrix, shard_activation = shard_images[shard_idx][layer_idx]
             start, stop = spec["shard_block_bounds"][shard_idx]
             expected_m = min((stop - start) * p, m - start * p)
+            shard_fmt = (
+                (matrix.fixed_point.total_bits, matrix.fixed_point.frac_bits)
+                if matrix.fixed_point is not None
+                else None
+            )
             if (
                 matrix.p != p
                 or matrix.shape != (expected_m, n)
                 or shard_activation != activation
+                or matrix.value_dtype != value_dtype
+                or shard_fmt != fixed_point
             ):
                 raise ValueError(
                     f"layer {layer_idx} shard {shard_idx}: image "
                     f"(shape={matrix.shape}, p={matrix.p}, "
-                    f"activation={shard_activation!r}) does not match the "
-                    f"manifest"
+                    f"activation={shard_activation!r}, "
+                    f"value_dtype={matrix.value_dtype!r}) does not match "
+                    f"the manifest"
                 )
             covered += matrix.shape[0]
             shards.append(matrix)

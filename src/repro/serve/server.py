@@ -6,9 +6,16 @@ deployment story scales past one engine: each layer's
 ``num_shards`` shards (block-row granularity, so every shard is itself a
 valid PD matrix) and each shard executes on its own
 :class:`~repro.hw.PermDNNEngine` instance.  Because row shards partition
-the output dimension, the shard engines run the *same* zero-skipped input
-columns concurrently and their stacked outputs reproduce the unsharded
-:meth:`~repro.hw.PermDNNEngine.run_fc_batch` result bit for bit.
+the output dimension, the shard engines process the *same* zero-skipped
+input columns and their stacked outputs reproduce the unsharded
+:meth:`~repro.hw.PermDNNEngine.run_fc_batch` result bit for bit.  Shard
+concurrency exists on two clocks: in **simulated time** a micro-batch
+occupies a layer for its slowest shard's cycles (the engines are modelled
+as a parallel array), and in **host time** the shard engines of a layer
+actually run on a :class:`~concurrent.futures.ThreadPoolExecutor`
+(``num_threads``; each shard's kernel work releases the GIL inside its
+batched numpy/scipy product).  Results are stitched in shard order, so
+threaded and sequential execution are bit-identical by construction.
 
 Sharding reuses the layer matrix's cached index plan through
 :meth:`~repro.core.BlockPermutedDiagonalMatrix.row_shard` (pure slicing of
@@ -26,6 +33,8 @@ other ``repro.hw`` result uses.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -130,6 +139,7 @@ class ShardedLayer:
         x_batch: np.ndarray,
         zero_skip: bool = True,
         enforce_capacity: bool = True,
+        executor: ThreadPoolExecutor | None = None,
     ) -> tuple[np.ndarray, list[int], list[int]]:
         """Execute one micro-batch on every shard engine.
 
@@ -140,16 +150,33 @@ class ShardedLayer:
         outputs are bit-identical to the unsharded batch call by
         construction.
 
+        With an ``executor``, the shards run as one task each on its
+        threads (safe: every shard owns its engine and writes a disjoint
+        column slice of ``outputs``); without one they run sequentially
+        on the calling thread.  Either way results are collected in shard
+        order, so the stitched output is deterministic and identical
+        across thread counts.
+
         Returns:
             ``(outputs, shard_cycles, shard_macs)`` with outputs of shape
-            ``(B, out_features)``; the batch's wall time on the shard array
-            is ``max(shard_cycles)`` since the engines run concurrently.
+            ``(B, out_features)``; the batch's wall time on the shard
+            array is ``max(shard_cycles)`` -- in simulated time the
+            engines are a parallel array, whatever the host execution
+            mode.
         """
-        outputs = np.empty((x_batch.shape[0], self.out_features))
-        shard_cycles: list[int] = []
-        shard_macs: list[int] = []
-        offset = 0
-        for engine, shard in zip(engines, self.shards):
+        # np.zeros, not np.empty: the shard writes that cover every column
+        # happen inside ``run_shard`` (possibly on executor threads), out
+        # of reach of RPR006's unconditional-fill analysis.
+        outputs = np.zeros(
+            (x_batch.shape[0], self.out_features),
+            dtype=self.shards[0].compute_dtype,
+        )
+
+        def run_shard(
+            engine: PermDNNEngine,
+            shard: BlockPermutedDiagonalMatrix,
+            offset: int,
+        ) -> tuple[int, int]:
             out, cycles, macs = engine.run_fc_batch_detailed(
                 shard,
                 x_batch,
@@ -158,9 +185,20 @@ class ShardedLayer:
                 enforce_capacity=enforce_capacity,
             )
             outputs[:, offset : offset + shard.shape[0]] = out
+            return cycles, macs
+
+        tasks = []
+        offset = 0
+        for engine, shard in zip(engines, self.shards):
+            tasks.append((engine, shard, offset))
             offset += shard.shape[0]
-            shard_cycles.append(cycles)
-            shard_macs.append(macs)
+        if executor is not None and self.num_shards > 1:
+            futures = [executor.submit(run_shard, *task) for task in tasks]
+            results = [future.result() for future in futures]
+        else:
+            results = [run_shard(*task) for task in tasks]
+        shard_cycles = [cycles for cycles, _ in results]
+        shard_macs = [macs for _, macs in results]
         return outputs, shard_cycles, shard_macs
 
     def __repr__(self) -> str:
@@ -288,6 +326,12 @@ class ModelServer:
         zero_skip: forward the engines' input zero-skipping.
         enforce_capacity: validate every shard against its engine's SRAM
             budget at construction (and per call).
+        num_threads: host threads driving each layer's shard engines.
+            ``None`` (default) uses ``min(max shard count, host CPUs)``;
+            ``1`` forces sequential shard execution.  Purely a host-side
+            execution knob: simulated cycles, counters, and outputs are
+            identical at every thread count (shards are collected in
+            shard order).
         queue_capacity: bound on the in-flight population (requests
             admitted but not yet completed, including the forming
             batch).  ``None`` (default) queues unboundedly -- the exact
@@ -310,6 +354,7 @@ class ModelServer:
         flush_deadline_us: float = 50.0,
         zero_skip: bool = True,
         enforce_capacity: bool = True,
+        num_threads: int | None = None,
         queue_capacity: int | None = None,
     ) -> None:
         if not layers:
@@ -331,6 +376,14 @@ class ModelServer:
         # Derive from the layers: a pre-built ShardedLayer carries its own
         # shard count, which the ``num_shards`` argument does not override.
         self.num_shards = self.layers[0].num_shards
+        if num_threads is None:
+            num_threads = min(
+                max(layer.num_shards for layer in self.layers),
+                os.cpu_count() or 1,
+            )
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = int(num_threads)
         for prev, nxt in zip(self.layers, self.layers[1:]):
             if prev.out_features != nxt.in_features:
                 raise ValueError(
@@ -464,6 +517,11 @@ class ModelServer:
         submitted ``(input, arrival)`` sequence -- identical seeds
         reproduce identical per-request latency traces.  Outputs come
         back in submission order regardless of batching.
+
+        With ``num_threads > 1`` a drain-scoped thread pool runs each
+        layer's shard engines concurrently on the host (shut down before
+        this method returns, so no threads outlive the drain); the
+        simulated clock and every output are unchanged by threading.
         """
         pending, self._pending = self._pending, []
         num_layers = len(self.layers)
@@ -486,6 +544,18 @@ class ModelServer:
         completion_log: list[float] = []
         done_idx = 0
 
+        # Drain-scoped shard pool: created here (not per batch, not per
+        # server) so threads are reused across every micro-batch of the
+        # drain yet never outlive it.
+        executor = (
+            ThreadPoolExecutor(
+                max_workers=self.num_threads,
+                thread_name_prefix="repro-shard",
+            )
+            if self.num_threads > 1
+            else None
+        )
+
         def run_batch(batch) -> None:
             current = batch.stacked_inputs()
             done = batch.ready_us * self.cycles_per_us
@@ -498,6 +568,7 @@ class ModelServer:
                     current,
                     zero_skip=self.zero_skip,
                     enforce_capacity=self.enforce_capacity,
+                    executor=executor,
                 )
                 stage = max(shard_cycles)
                 start = max(done, layer_free[idx])
@@ -523,35 +594,39 @@ class ModelServer:
                 completion_log.append(completion_us)
             batch_sizes.append(batch.size)
 
-        assembler = self.batcher.assembler()
-        for request in pending:
-            flushed = assembler.poll(request.arrival_us)
-            if flushed is not None:
-                run_batch(flushed)
-            if self.queue_capacity is not None:
-                # In-flight population at this arrival: the forming batch
-                # plus every executed request still completing in the
-                # simulated future.
-                while (
-                    done_idx < len(completion_log)
-                    and completion_log[done_idx] <= request.arrival_us
-                ):
-                    done_idx += 1
-                in_flight = (
-                    assembler.pending_count
-                    + len(completion_log)
-                    - done_idx
-                )
-                if in_flight >= self.queue_capacity:
-                    shed_rids.append(request.rid)
-                    for stats in layer_stats[0]:
-                        stats.shed += 1
-                    continue
-            for batch in assembler.offer(request):
-                run_batch(batch)
-        tail = assembler.finish()
-        if tail is not None:
-            run_batch(tail)
+        try:
+            assembler = self.batcher.assembler()
+            for request in pending:
+                flushed = assembler.poll(request.arrival_us)
+                if flushed is not None:
+                    run_batch(flushed)
+                if self.queue_capacity is not None:
+                    # In-flight population at this arrival: the forming
+                    # batch plus every executed request still completing
+                    # in the simulated future.
+                    while (
+                        done_idx < len(completion_log)
+                        and completion_log[done_idx] <= request.arrival_us
+                    ):
+                        done_idx += 1
+                    in_flight = (
+                        assembler.pending_count
+                        + len(completion_log)
+                        - done_idx
+                    )
+                    if in_flight >= self.queue_capacity:
+                        shed_rids.append(request.rid)
+                        for stats in layer_stats[0]:
+                            stats.shed += 1
+                        continue
+                for batch in assembler.offer(request):
+                    run_batch(batch)
+            tail = assembler.finish()
+            if tail is not None:
+                run_batch(tail)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
 
         rids = sorted(outputs)
         latencies_us = np.asarray([latencies[rid] for rid in rids])
@@ -588,6 +663,7 @@ class ModelServer:
         return (
             f"ModelServer(layers={len(self.layers)}, "
             f"shards={self.num_shards}, "
+            f"threads={self.num_threads}, "
             f"max_batch={self.batcher.max_batch_size}, "
             f"deadline={self.batcher.flush_deadline_us}us, "
             f"queue_capacity={self.queue_capacity})"

@@ -137,6 +137,79 @@ class TestBackendConformance:
 
 
 # ---------------------------------------------------------------------------
+# Value-dtype sweep: the same seeded configurations at reduced precision.
+# ---------------------------------------------------------------------------
+
+# float32 runs the whole product in float32; against the float64 dense
+# reference the error is rounding noise, orders below this tolerance on
+# these unit-scale configurations.
+FLOAT32_ATOL = 1e-5
+
+
+@pytest.mark.parametrize(
+    "m,n,p,batch,case_seed",
+    CONFIGS,
+    ids=[f"m{m}n{n}p{p}b{b}" for m, n, p, b, _ in CONFIGS],
+)
+class TestValueDtypeConformance:
+    def test_float32_tracks_float64_reference(self, m, n, p, batch, case_seed):
+        matrix, rng = _build(m, n, p, case_seed)
+        f32 = matrix.with_value_dtype("float32")
+        dense = matrix.to_dense()
+        x = rng.normal(size=(batch, n))
+        dy = rng.normal(size=(batch, m))
+        for backend in available_backends():
+            f32.set_backend(backend)
+            forward = f32.matmat(x)
+            backward = f32.rmatmat(dy)
+            grad = f32.grad_data(x, dy)
+            assert forward.dtype == np.float32, backend
+            assert backward.dtype == np.float32, backend
+            assert grad.dtype == np.float32, backend
+            np.testing.assert_allclose(
+                forward, x @ dense.T, atol=FLOAT32_ATOL,
+                err_msg=f"float32 matmat diverges on backend {backend!r}",
+            )
+            np.testing.assert_allclose(
+                backward, dy @ dense, atol=FLOAT32_ATOL,
+                err_msg=f"float32 rmatmat diverges on backend {backend!r}",
+            )
+            np.testing.assert_allclose(
+                grad, _dense_grad_reference(matrix, x, dy), atol=FLOAT32_ATOL,
+                err_msg=f"float32 grad_data diverges on backend {backend!r}",
+            )
+
+    def test_int16_exact_vs_dequantized_bounded_vs_original(
+        self, m, n, p, batch, case_seed
+    ):
+        matrix, rng = _build(m, n, p, case_seed)
+        i16 = matrix.with_value_dtype("int16")
+        # (a) Accumulation policy: dequantize-to-float64 makes an int16
+        # matrix bit-compatible with a float64 matrix of the dequantized
+        # weights -- the dense reference holds at the float64 tolerance.
+        dense_deq = i16.with_value_dtype("float64").to_dense()
+        x = rng.normal(size=(batch, n))
+        for backend in available_backends():
+            i16.set_backend(backend)
+            out = i16.matmat(x)
+            assert out.dtype == np.float64, backend
+            np.testing.assert_allclose(
+                out, x @ dense_deq.T, atol=ATOL,
+                err_msg=f"int16 matmat diverges on backend {backend!r}",
+            )
+            # (b) Per-format bound vs the *original* float64 weights:
+            # every stored weight moved by at most resolution/2, so each
+            # output is off by at most sum|x| * resolution/2.
+            bound = (
+                0.5 * i16.fixed_point.resolution
+                * float(np.abs(x).sum(axis=1).max())
+                + 1e-12
+            )
+            err = np.max(np.abs(out - x @ matrix.to_dense().T))
+            assert err <= bound, (backend, err, bound)
+
+
+# ---------------------------------------------------------------------------
 # Hypothesis properties: same invariants over a shrinkable space.
 # ---------------------------------------------------------------------------
 

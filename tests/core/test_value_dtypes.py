@@ -1,0 +1,263 @@
+"""Value-storage dtypes: float64 / float32 / int16 fixed-point.
+
+Covers the :mod:`repro.core.value_types` registry, dtype-aware
+construction and conversion on :class:`BlockPermutedDiagonalMatrix`
+(aliasing, plan sharing, shard propagation), product dtype propagation
+across every available backend, and the dtype tags plan blobs carry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockPermutedDiagonalMatrix,
+    UnknownValueDtypeError,
+    available_backends,
+    default_value_dtype,
+    set_default_value_dtype,
+    validate_value_dtype,
+)
+from repro.core.block_perm_diag import _IndexPlan
+from repro.core.value_types import storage_dtype
+from repro.debug import sanitize
+from repro.nn.quantization import FixedPointFormat
+
+
+def _matrix(vd="float64", shape=(24, 16), p=4, seed=0, **kwargs):
+    return BlockPermutedDiagonalMatrix.random(
+        shape, p, rng=seed, value_dtype=vd, **kwargs
+    )
+
+
+class TestRegistry:
+    def test_canonical_names_and_aliases(self):
+        assert validate_value_dtype("float32") == "float32"
+        assert validate_value_dtype(np.float32) == "float32"
+        assert validate_value_dtype("f4") == "float32"
+        assert validate_value_dtype(np.dtype(np.int16)) == "int16"
+        assert validate_value_dtype("float64") == "float64"
+
+    def test_unknown_names_raise_typed_error(self):
+        for bad in ("float16", "int8", "not-a-dtype", object()):
+            with pytest.raises(UnknownValueDtypeError):
+                validate_value_dtype(bad)
+
+    def test_default_resolution_order(self, monkeypatch):
+        set_default_value_dtype(None)
+        monkeypatch.delenv("REPRO_VALUE_DTYPE", raising=False)
+        assert default_value_dtype() == "float64"
+        monkeypatch.setenv("REPRO_VALUE_DTYPE", "float32")
+        assert default_value_dtype() == "float32"
+        set_default_value_dtype("float64")  # explicit beats env
+        assert default_value_dtype() == "float64"
+        set_default_value_dtype(None)
+
+    def test_int16_cannot_be_process_default(self, monkeypatch):
+        with pytest.raises(UnknownValueDtypeError):
+            set_default_value_dtype("int16")
+        set_default_value_dtype(None)
+        monkeypatch.setenv("REPRO_VALUE_DTYPE", "int16")
+        with pytest.raises(UnknownValueDtypeError):
+            default_value_dtype()
+        # restore pinning for the remainder of the test (autouse fixture
+        # pinned before the monkeypatch; teardown order is safe either way)
+        set_default_value_dtype("float64")
+
+    def test_default_drives_construction(self):
+        set_default_value_dtype("float32")
+        try:
+            mat = BlockPermutedDiagonalMatrix.random((8, 8), 4, rng=0)
+            assert mat.value_dtype == "float32"
+            assert mat.data.dtype == np.float32
+        finally:
+            set_default_value_dtype("float64")
+
+
+class TestStorageModes:
+    def test_float64_default_unchanged(self):
+        mat = _matrix()
+        assert mat.value_dtype == "float64"
+        assert mat.fixed_point is None
+        assert mat.data.dtype == np.float64
+        assert mat.compute_dtype == np.float64
+        assert mat._kernel_data() is mat.data
+
+    def test_float32_storage_and_compute(self):
+        mat = _matrix("float32")
+        assert mat.data.dtype == np.float32
+        assert mat.compute_dtype == np.float32
+        assert mat._kernel_data() is mat.data
+        assert "value_dtype=float32" in repr(mat)
+
+    def test_int16_requires_format_in_constructor(self):
+        base = _matrix()
+        with pytest.raises(ValueError, match="with_value_dtype"):
+            BlockPermutedDiagonalMatrix(
+                np.zeros(base.data.shape, dtype=np.int16),
+                base.ks,
+                value_dtype="int16",
+            )
+
+    def test_int16_storage_dequantizes_for_kernels(self):
+        fmt = FixedPointFormat(16, 13)
+        mat = _matrix("int16", fixed_point=fmt)
+        assert mat.data.dtype == np.int16
+        assert mat.fixed_point == fmt
+        assert mat.compute_dtype == np.float64
+        kernel = mat._kernel_data()
+        assert kernel.dtype == np.float64
+        np.testing.assert_array_equal(
+            kernel, mat.data.astype(np.float64) / fmt.scale
+        )
+
+    def test_fixed_point_rejected_for_float_modes(self):
+        with pytest.raises(ValueError, match="fixed_point"):
+            _matrix("float32", fixed_point=FixedPointFormat(16, 12))
+
+    def test_int16_setter_rejects_floats_and_range_checks(self):
+        mat = _matrix("int16")
+        with pytest.raises(TypeError, match="with_value_dtype"):
+            mat.data = np.zeros(mat.data.shape)
+        codes = np.zeros(mat.data.shape, dtype=np.int64)
+        mat.data = codes  # in-range wider ints narrow fine
+        assert mat.data.dtype == np.int16
+        codes[0, 0, 0] = 2**15  # one past int16 max
+        with pytest.raises(ValueError, match="int16 range"):
+            mat.data = codes
+
+    def test_same_seed_same_weights_across_precisions(self):
+        f64 = _matrix("float64", seed=7)
+        f32 = _matrix("float32", seed=7)
+        np.testing.assert_array_equal(
+            f32.data, f64.data.astype(np.float32)
+        )
+
+    def test_zeros_and_from_dense_honor_value_dtype(self):
+        z = BlockPermutedDiagonalMatrix.zeros((8, 8), 4, value_dtype="float32")
+        assert z.data.dtype == np.float32
+        dense = _matrix(seed=3).to_dense()
+        proj = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 4, value_dtype="int16"
+        )
+        assert proj.value_dtype == "int16"
+        assert proj.fixed_point is not None
+
+
+class TestConversion:
+    def test_with_value_dtype_shares_plan_and_bounds_error(self):
+        f64 = _matrix(seed=1)
+        f32 = f64.with_value_dtype("float32")
+        assert f32._get_plan() is f64._get_plan()
+        err = np.max(np.abs(f32.to_dense() - f64.to_dense()))
+        assert 0 < err < 1e-6  # float32 rounding, nothing worse
+
+        i16 = f64.with_value_dtype("int16")
+        assert i16._get_plan() is f64._get_plan()
+        res = i16.fixed_point.resolution
+        err = np.max(np.abs(i16.to_dense() - f64.to_dense()))
+        assert err <= res / 2 + 1e-15
+
+    def test_same_dtype_conversion_aliases(self):
+        f64 = _matrix(seed=2)
+        again = f64.with_value_dtype("float64")
+        assert np.shares_memory(again.data, f64.data)
+
+    def test_round_trip_int16_is_exact(self):
+        i16 = _matrix("int16", seed=4, fixed_point=FixedPointFormat(16, 14))
+        back = i16.with_value_dtype("float64").with_value_dtype(
+            "int16", fixed_point=i16.fixed_point
+        )
+        np.testing.assert_array_equal(back.data, i16.data)
+
+    def test_shards_and_like_propagate_dtype_and_alias(self):
+        for vd in ("float32", "int16"):
+            parent = _matrix(vd, shape=(32, 16), seed=5)
+            with sanitize():  # verifies shard aliasing at reduced precision
+                shards = parent.row_shards(4)
+            for shard in shards:
+                assert shard.value_dtype == vd
+                assert shard.fixed_point == parent.fixed_point
+                assert np.shares_memory(shard.data, parent.data)
+            sib = parent.like(parent.data)
+            assert sib.value_dtype == vd
+            assert sib.fixed_point == parent.fixed_point
+
+    def test_transpose_preserves_dtype(self):
+        mat = _matrix("float32", seed=6)
+        assert mat.transpose().value_dtype == "float32"
+        i16 = _matrix("int16", seed=6)
+        t = i16.transpose()
+        assert t.value_dtype == "int16"
+        assert t.fixed_point == i16.fixed_point
+
+
+class TestProductDtypes:
+    def test_products_run_in_compute_dtype_on_every_backend(self):
+        rng = np.random.default_rng(0)
+        for vd, expected in (
+            ("float64", np.float64),
+            ("float32", np.float32),
+            ("int16", np.float64),
+        ):
+            mat = _matrix(vd, shape=(23, 17), p=4, seed=8)
+            x = rng.normal(size=(5, 17))
+            dy = rng.normal(size=(5, 23))
+            for backend in available_backends():
+                mat.set_backend(backend)
+                assert mat.matmat(x).dtype == expected, (vd, backend)
+                assert mat.rmatmat(dy).dtype == expected, (vd, backend)
+                assert mat.grad_data(x, dy).dtype == expected, (vd, backend)
+                assert mat.matvec(x[0]).dtype == expected, (vd, backend)
+                assert mat.rmatvec(dy[0]).dtype == expected, (vd, backend)
+
+    def test_int16_products_match_dequantized_float64_bitwise(self):
+        i16 = _matrix("int16", shape=(24, 16), seed=9)
+        ref = i16.with_value_dtype("float64")
+        x = np.random.default_rng(1).normal(size=(6, 16))
+        for backend in available_backends():
+            i16.set_backend(backend)
+            ref.set_backend(backend)
+            np.testing.assert_array_equal(i16.matmat(x), ref.matmat(x))
+
+
+class TestPlanSerialization:
+    def test_plan_blob_carries_dtype_tag(self):
+        i16 = _matrix("int16", seed=10, fixed_point=FixedPointFormat(16, 13))
+        plan = _IndexPlan.from_bytes(i16.plan_bytes())
+        assert plan.value_dtype_hint == "int16"
+        assert plan.fixed_point_hint == (16, 13)
+        restored = BlockPermutedDiagonalMatrix.from_plan(
+            i16.plan_bytes(), i16.data
+        )
+        assert restored.value_dtype == "int16"
+        assert restored.fixed_point == i16.fixed_point
+        np.testing.assert_array_equal(restored.data, i16.data)
+
+    def test_from_plan_infers_float_dtypes_from_data(self):
+        f32 = _matrix("float32", seed=11)
+        plain_plan = f32._get_plan().to_bytes()  # untagged blob
+        restored = BlockPermutedDiagonalMatrix.from_plan(plain_plan, f32.data)
+        assert restored.value_dtype == "float32"
+        assert np.shares_memory(restored.data, f32.data)
+
+    def test_from_plan_rejects_untagged_int16_data(self):
+        i16 = _matrix("int16", seed=12)
+        plain_plan = i16._get_plan().to_bytes()
+        with pytest.raises(ValueError, match="FixedPointFormat"):
+            BlockPermutedDiagonalMatrix.from_plan(plain_plan, i16.data)
+
+    def test_explicit_args_override_blob_hint(self):
+        i16 = _matrix("int16", seed=13)
+        restored = BlockPermutedDiagonalMatrix.from_plan(
+            i16.plan_bytes(),
+            np.asarray(i16._kernel_data(), dtype=np.float64),
+            value_dtype="float64",
+        )
+        assert restored.value_dtype == "float64"
+        assert restored.fixed_point is None
+
+
+def test_storage_dtype_mapping():
+    assert storage_dtype("float64") == np.float64
+    assert storage_dtype("float32") == np.float32
+    assert storage_dtype("int16") == np.int16

@@ -1,0 +1,81 @@
+"""Fixed-point encode/decode and scale validation (Sec. V quantization)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.nn.quantization import (
+    FixedPointFormat,
+    InvalidFixedPointScaleError,
+    choose_fixed_point_format,
+    decode_fixed_point,
+    encode_fixed_point,
+    quantize_fixed_point,
+)
+
+
+@dataclass
+class _BadFormat:
+    """Duck-typed format with an out-of-contract scale.
+
+    ``FixedPointFormat`` itself cannot produce these scales; the entry
+    points accept any object with the format attributes, so the
+    validation must live there.
+    """
+
+    scale: float
+    total_bits: int = 16
+    frac_bits: int = 12
+    min_value: float = -1.0
+    max_value: float = 1.0
+
+
+@pytest.mark.parametrize("scale", [0.0, -4.0, float("inf"), float("nan")])
+def test_bad_scales_raise_typed_error(scale):
+    values = np.array([0.25, -0.5])
+    fmt = _BadFormat(scale=scale)
+    with pytest.raises(InvalidFixedPointScaleError):
+        quantize_fixed_point(values, fmt)
+    with pytest.raises(InvalidFixedPointScaleError):
+        encode_fixed_point(values, fmt)
+    with pytest.raises(InvalidFixedPointScaleError):
+        decode_fixed_point(np.array([1, 2], dtype=np.int16), fmt)
+
+
+def test_invalid_scale_error_is_a_value_error():
+    # Callers that already catch ValueError keep working.
+    assert issubclass(InvalidFixedPointScaleError, ValueError)
+
+
+def test_encode_decode_round_trip_equals_quantize():
+    rng = np.random.default_rng(0)
+    values = rng.normal(scale=0.3, size=257)
+    fmt = choose_fixed_point_format(values)
+    codes = encode_fixed_point(values, fmt)
+    assert codes.dtype == np.int16
+    np.testing.assert_array_equal(
+        decode_fixed_point(codes, fmt), quantize_fixed_point(values, fmt)
+    )
+
+
+def test_encode_saturates_at_format_range():
+    fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+    codes = encode_fixed_point(np.array([1e9, -1e9]), fmt)
+    # Saturation clips to the 8-bit format's own code range, not int16's.
+    np.testing.assert_array_equal(codes, [127, -128])
+    decoded = decode_fixed_point(codes, fmt)
+    np.testing.assert_array_equal(decoded, [fmt.max_value, fmt.min_value])
+
+
+def test_encode_rejects_formats_wider_than_int16():
+    with pytest.raises(ValueError, match="16-bit"):
+        encode_fixed_point(np.zeros(3), FixedPointFormat(24, 12))
+
+
+def test_decode_is_exact_for_power_of_two_scales():
+    fmt = FixedPointFormat(16, 13)
+    codes = np.arange(-(2**15), 2**15, 997, dtype=np.int16)
+    decoded = decode_fixed_point(codes, fmt)
+    assert decoded.dtype == np.float64
+    np.testing.assert_array_equal(decoded * fmt.scale, codes.astype(np.float64))

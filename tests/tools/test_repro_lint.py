@@ -101,13 +101,18 @@ class TestRPR002BackendBypass:
 
 class TestRPR003CsrIndexDtype:
     def test_untyped_construction_flagged(self):
+        # select= keeps the fixture focused: a dtype-less np.zeros in
+        # backends/ is (correctly) also an RPR009 finding.
         src = """
             import numpy as np
             def f(n):
                 indptr = np.zeros(n + 1)
                 return indptr
         """
-        assert codes(lint(src, "src/repro/core/backends/csr.py")) == ["RPR003"]
+        findings = lint(
+            src, "src/repro/core/backends/csr.py", select={"RPR003"}
+        )
+        assert codes(findings) == ["RPR003"]
 
     def test_int64_literal_flagged(self):
         src = """
@@ -145,7 +150,10 @@ class TestRPR003CsrIndexDtype:
                 values = np.zeros(n)
                 return values
         """
-        assert lint(src, "src/repro/core/backends/csr.py") == []
+        assert (
+            lint(src, "src/repro/core/backends/csr.py", select={"RPR003"})
+            == []
+        )
 
 
 class TestRPR004SystemExit:
@@ -233,9 +241,10 @@ class TestRPR006EmptyPartialWrite:
                     out[:] = 1.0
                 return out
         """
-        assert codes(lint(src, "src/repro/core/backends/gather.py")) == [
-            "RPR006",
-        ]
+        findings = lint(
+            src, "src/repro/core/backends/gather.py", select={"RPR006"}
+        )
+        assert codes(findings) == ["RPR006"]
 
     def test_loop_fill_allowed(self):
         src = """
@@ -246,7 +255,10 @@ class TestRPR006EmptyPartialWrite:
                     out[start:stop] = 1.0
                 return out
         """
-        assert lint(src, "src/repro/core/backends/gather.py") == []
+        assert (
+            lint(src, "src/repro/core/backends/gather.py", select={"RPR006"})
+            == []
+        )
 
     def test_alloc_and_fill_inside_else_allowed(self):
         # Regression: conditionality is judged relative to the
@@ -363,6 +375,71 @@ class TestRPR008SetflagsUnfreeze:
         assert lint(src, "src/repro/serve/server.py") == []
 
 
+class TestRPR009DtypelessAllocation:
+    @pytest.mark.parametrize("ctor", ["zeros", "empty", "ones"])
+    def test_dtypeless_allocation_flagged(self, ctor):
+        src = f"""
+            import numpy as np
+            def kernel(n):
+                out = np.{ctor}(n)
+                out[:] = 1.0
+                return out
+        """
+        findings = lint(src, "src/repro/core/backends/gather.py")
+        assert codes(findings) == ["RPR009"]
+        assert "dtype" in findings[0].message
+
+    def test_dtypeless_full_flagged(self):
+        src = """
+            import numpy as np
+            def kernel(n):
+                out = np.full(n, 0.0)
+                return out
+        """
+        assert codes(lint(src, "src/repro/core/backends/csr.py")) == [
+            "RPR009",
+        ]
+
+    def test_keyword_dtype_allowed(self):
+        src = """
+            import numpy as np
+            def kernel(n, matrix):
+                out = np.zeros(n, dtype=matrix.compute_dtype)
+                buf = np.empty(n, dtype=np.float32)
+                buf[:] = 0.0
+                return out, buf
+        """
+        assert lint(src, "src/repro/core/backends/gather.py") == []
+
+    def test_positional_dtype_allowed(self):
+        src = """
+            import numpy as np
+            def kernel(n):
+                out = np.zeros(n, np.float32)
+                fill = np.full(n, 0.0, np.float32)
+                return out, fill
+        """
+        assert lint(src, "src/repro/core/backends/csr.py") == []
+
+    def test_like_constructors_exempt(self):
+        src = """
+            import numpy as np
+            def kernel(values):
+                out = np.empty_like(values)
+                out[:] = 0.0
+                return out, np.zeros_like(values)
+        """
+        assert lint(src, "src/repro/core/backends/numba_backend.py") == []
+
+    def test_out_of_scope_path_ignored(self):
+        src = """
+            import numpy as np
+            def helper(n):
+                return np.zeros(n)
+        """
+        assert lint(src, "src/repro/serve/server.py") == []
+
+
 class TestSuppressionAndSelection:
     def test_noqa_with_code_suppresses(self):
         src = "def f(m):\n    m._plan = None  # noqa: RPR001\n"
@@ -388,9 +465,9 @@ class TestSuppressionAndSelection:
 
 
 class TestRuleRegistry:
-    def test_all_eight_codes_registered(self):
+    def test_all_nine_codes_registered(self):
         assert [r.code for r in all_rules()] == [
-            f"RPR00{i}" for i in range(1, 9)
+            f"RPR00{i}" for i in range(1, 10)
         ]
 
     def test_rules_carry_docs(self):
@@ -447,7 +524,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for i in range(1, 9):
+        for i in range(1, 10):
             assert f"RPR00{i}" in out
 
     def test_real_tree_is_clean(self):

@@ -15,6 +15,7 @@ refer to them.
 | RPR006 | ``np.empty`` buffers in kernels are unconditionally filled    |
 | RPR007 | serving/serialization never copies aliased parameter storage  |
 | RPR008 | read-only buffer flags are lifted only by core/ and debug/    |
+| RPR009 | kernel buffer allocations in core/backends/ pin a dtype       |
 """
 
 from __future__ import annotations
@@ -38,7 +39,8 @@ from tools.repro_lint.framework import (
 # only sanctioned mutation points live in ``src/repro/core/`` (the
 # ``data`` property setter, ``set_structure``, ``adopt_plan``, ...).
 _PRIVATE_STATE_ATTRS = frozenset(
-    {"_plan", "_data", "_csr_cache", "_ks", "_shape"}
+    {"_plan", "_data", "_csr_cache", "_ks", "_shape",
+     "_value_dtype", "_fixed_point"}
 )
 
 # Identifier fragments that mark an expression as (probably) structured
@@ -564,3 +566,47 @@ class SetflagsUnfreezeRule(Rule):
                             "flags.writeable = True outside core//debug/ "
                             "unfreezes a shared read-only buffer",
                         )
+
+
+@register
+class DtypelessAllocationRule(Rule):
+    """RPR009: kernel buffer allocations always pin an explicit dtype."""
+
+    code = "RPR009"
+    name = "dtypeless-allocation"
+    invariant = (
+        "`np.zeros`/`np.empty`/`np.ones`/`np.full` in "
+        "`src/repro/core/backends/` always pass a `dtype`"
+    )
+    rationale = (
+        "a dtype-less allocation defaults to float64, which silently "
+        "upcasts float32/int16 value storage the first time a kernel "
+        "writes into it; `*_like` constructors inherit the source dtype "
+        "and stay exempt"
+    )
+    scope = ("src/repro/core/backends/",)
+
+    # Positional index where `dtype` lands per constructor signature:
+    # zeros/empty/ones take (shape, dtype, ...); full takes
+    # (shape, fill_value, dtype, ...).
+    _ALLOCATORS = {"zeros": 1, "empty": 1, "ones": 1, "full": 2}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_np_call(node, *self._ALLOCATORS):
+                continue
+            name = dotted_name(node.func)
+            assert name is not None  # _is_np_call resolved it
+            dtype_pos = self._ALLOCATORS[name.rpartition(".")[2]]
+            if (
+                call_keyword(node, "dtype") is None
+                and len(node.args) <= dtype_pos
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"`{name}(...)` without `dtype=` allocates float64 and "
+                    "silently upcasts reduced-precision value storage -- "
+                    "pass the kernel's compute dtype explicitly",
+                )
