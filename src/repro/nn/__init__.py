@@ -27,7 +27,12 @@ from repro.nn.layers.recurrent import LSTM, LSTMCell
 from repro.nn.losses import CrossEntropyLoss, MSELoss
 from repro.nn.optim import SGD, Adam
 from repro.nn.schedulers import CosineLR, StepLR
-from repro.nn.serialization import load_model, model_engine_layers, save_model
+from repro.nn.serialization import (
+    UnsupportedLayerError,
+    load_model,
+    model_engine_layers,
+    save_model,
+)
 from repro.nn.trainer import Trainer, evaluate_classifier
 
 __all__ = [
@@ -61,6 +66,7 @@ __all__ = [
     "StepLR",
     "Tanh",
     "Trainer",
+    "UnsupportedLayerError",
     "evaluate_classifier",
     "load_model",
     "model_engine_layers",

@@ -24,7 +24,33 @@ from repro.nn.layers.perm_diag_linear import PermDiagLinear
 from repro.nn.module import Module
 from repro.nn.sequential import Sequential
 
-__all__ = ["load_model", "model_engine_layers", "save_model"]
+__all__ = [
+    "UnsupportedLayerError",
+    "load_model",
+    "model_engine_layers",
+    "save_model",
+]
+
+
+class UnsupportedLayerError(ValueError):
+    """A model contains a layer the requested serving surface cannot run.
+
+    Raised (instead of an opaque ``AttributeError`` or a silent skip) when
+    flattening a model for the engine or the serving runtime meets a
+    module type it does not understand.  The message always names the
+    offending layer's class and its position in ``model.modules()``
+    order, so the failure points at the layer, not at the walker.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    keep working.
+    """
+
+    def __init__(self, index: int, module, detail: str) -> None:
+        self.index = index
+        self.layer_type = type(module).__name__
+        super().__init__(
+            f"module {index} ({self.layer_type}) {detail}"
+        )
 
 # Checkpoint keys carrying serialized index plans (one per PD matrix, in
 # module-discovery order); everything else is parameter state.
@@ -64,7 +90,9 @@ def model_engine_layers(
     no-ops) and containers are skipped.  Anything else -- dense layers,
     convolutions, activations the ActU does not implement, or a PD layer
     carrying a non-zero bias (the engine computes ``W x`` only) -- raises
-    ``ValueError`` rather than silently serving the wrong function.
+    :class:`UnsupportedLayerError` (a ``ValueError`` subclass naming the
+    offending module's class and index) rather than silently serving the
+    wrong function.
 
     With ``value_dtype=None`` (default) the returned matrices are the
     layers' **live** structured matrices (aliased storage, cached plans),
@@ -79,22 +107,23 @@ def model_engine_layers(
     """
     layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]] = []
     pending_activation = False  # True after a PD layer, before an activation
-    for module in model.modules():
+    for index, module in enumerate(model.modules()):
         if isinstance(module, Sequential):
             continue
         if isinstance(module, PermDiagLinear):
             if module.bias is not None and np.any(module.bias.value):
-                raise ValueError(
-                    f"{module!r} carries a non-zero bias; the engine's FC "
-                    f"datapath computes W x only"
+                raise UnsupportedLayerError(
+                    index, module,
+                    "carries a non-zero bias; the engine's FC datapath "
+                    "computes W x only",
                 )
             layers.append((module.matrix, None))
             pending_activation = True
         elif isinstance(module, (ReLU, Tanh)):
             if not pending_activation:
-                raise ValueError(
-                    f"activation {type(module).__name__} does not follow a "
-                    f"PD FC layer"
+                raise UnsupportedLayerError(
+                    index, module,
+                    "is an activation that does not follow a PD FC layer",
                 )
             matrix, _ = layers[-1]
             layers[-1] = (matrix, "relu" if isinstance(module, ReLU) else "tanh")
@@ -102,9 +131,10 @@ def model_engine_layers(
         elif isinstance(module, (Dropout, Flatten)):
             continue  # inference no-ops
         else:
-            raise ValueError(
-                f"{type(module).__name__} is not servable on the PD FC "
-                f"engine (expected PermDiagLinear + ReLU/Tanh stacks)"
+            raise UnsupportedLayerError(
+                index, module,
+                "is not servable on the PD FC engine (expected "
+                "PermDiagLinear + ReLU/Tanh stacks)",
             )
     if not layers:
         raise ValueError("model contains no PermDiagLinear layers")

@@ -47,6 +47,7 @@ from repro.serve.bundle import (
     export_sharded_bundle,
     load_sharded_bundle,
 )
+from repro.nn.serialization import UnsupportedLayerError
 from repro.serve.server import (
     EmptyServeReportError,
     LayerShardStats,
@@ -84,6 +85,7 @@ __all__ = [
     "ServingBenchReport",
     "ShardedLayer",
     "UnknownArrivalProcessError",
+    "UnsupportedLayerError",
     "arrival_process_names",
     "build_alexnet_fc_stack",
     "export_model_bundle",

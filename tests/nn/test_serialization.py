@@ -149,6 +149,79 @@ class TestPlanCheckpointing:
             load_model(path, wrong)
 
 
+class TestUnsupportedLayerError:
+    def test_dense_layer_message_pins_class_and_index(self):
+        from repro.nn.serialization import (
+            UnsupportedLayerError,
+            model_engine_layers,
+        )
+
+        model = Sequential(
+            PermDiagLinear(16, 32, p=4, bias=False, rng=0),
+            ReLU(),
+            Linear(32, 4, rng=1),  # module index 3 (root Sequential is 0)
+        )
+        with pytest.raises(
+            UnsupportedLayerError,
+            match=r"^module 3 \(Linear\) is not servable on the PD FC "
+            r"engine \(expected PermDiagLinear \+ ReLU/Tanh stacks\)$",
+        ) as excinfo:
+            model_engine_layers(model)
+        assert excinfo.value.index == 3
+        assert excinfo.value.layer_type == "Linear"
+
+    def test_is_a_value_error(self):
+        """Existing ``except ValueError`` call sites keep catching it."""
+        from repro.nn.serialization import UnsupportedLayerError
+
+        assert issubclass(UnsupportedLayerError, ValueError)
+
+    def test_pooling_layer_rejected_not_skipped(self):
+        from repro.nn import MaxPool2D
+        from repro.nn.serialization import (
+            UnsupportedLayerError,
+            model_engine_layers,
+        )
+
+        model = Sequential(
+            PermDiagLinear(16, 16, p=4, bias=False, rng=0),
+            MaxPool2D(2),
+        )
+        with pytest.raises(
+            UnsupportedLayerError, match=r"module 2 \(MaxPool2D\)"
+        ):
+            model_engine_layers(model)
+
+    def test_nonzero_bias_rejected_with_index(self):
+        from repro.nn.serialization import (
+            UnsupportedLayerError,
+            model_engine_layers,
+        )
+
+        model = Sequential(PermDiagLinear(16, 16, p=4, bias=True, rng=0))
+        model[0].bias.value[:] = 1.0
+        with pytest.raises(
+            UnsupportedLayerError,
+            match=r"module 1 \(PermDiagLinear\) carries a non-zero bias",
+        ):
+            model_engine_layers(model)
+
+    def test_orphan_activation_rejected_with_index(self):
+        from repro.nn import Tanh
+        from repro.nn.serialization import (
+            UnsupportedLayerError,
+            model_engine_layers,
+        )
+
+        model = Sequential(Tanh())
+        with pytest.raises(
+            UnsupportedLayerError,
+            match=r"module 1 \(Tanh\) is an activation that does not "
+            r"follow a PD FC layer",
+        ):
+            model_engine_layers(model)
+
+
 class TestModelEngineLayersAliasing:
     def test_returned_matrices_are_live(self):
         """model_engine_layers hands out the layers' *live* matrices:

@@ -184,6 +184,22 @@ class TestValidation:
             np.stack(report.outputs), expected, atol=1e-10
         )
 
+    def test_from_model_unsupported_layer_typed_error(self):
+        from repro.nn import Linear, PermDiagLinear, ReLU, Sequential
+        from repro.serve import UnsupportedLayerError
+
+        model = Sequential(
+            PermDiagLinear(16, 32, p=4, bias=False, rng=0),
+            ReLU(),
+            Linear(32, 4, rng=1),
+        )
+        with pytest.raises(
+            UnsupportedLayerError, match=r"module 3 \(Linear\) is not servable"
+        ) as excinfo:
+            ModelServer.from_model(model, num_shards=2)
+        assert excinfo.value.index == 3
+        assert excinfo.value.layer_type == "Linear"
+
     def test_sharded_layer_from_mismatched_shards_rejected(self):
         a = BlockPermutedDiagonalMatrix.random((8, 8), 2, rng=0)
         b = BlockPermutedDiagonalMatrix.random((8, 6), 2, rng=0)
