@@ -24,7 +24,7 @@ import numpy as np
 from repro.core import BlockPermDiagTensor4D, BlockPermutedDiagonalMatrix
 from repro.hw.engine import PermDNNEngine, SimulationResult
 
-__all__ = ["ConvSimulationResult", "run_conv_layer"]
+__all__ = ["ConvSimulationResult", "offset_matrices", "run_conv_layer"]
 
 
 @dataclass
@@ -48,9 +48,11 @@ class ConvSimulationResult:
     positions: int
 
 
-def _offset_matrices(
+def offset_matrices(
     tensor: BlockPermDiagTensor4D,
     backend: str | None = None,
+    value_dtype: str | None = None,
+    fixed_point=None,
 ) -> list[BlockPermutedDiagonalMatrix]:
     """One block-PD channel matrix per kernel offset ``(dy, dx)``.
 
@@ -59,7 +61,11 @@ def _offset_matrices(
     already-built index plan via
     :meth:`BlockPermutedDiagonalMatrix.like` -- no per-lowering index
     arithmetic at all.  ``backend`` overrides the tensor's pinned kernel
-    backend for the lowered mat-vecs.
+    backend for the lowered mat-vecs; ``value_dtype`` (with an optional
+    ``fixed_point`` format) converts every offset matrix through
+    :meth:`~repro.core.BlockPermutedDiagonalMatrix.with_value_dtype`,
+    still sharing the one plan, so a reduced-precision serving copy of a
+    conv layer lowers without touching the float64 training kernels.
     """
     kh, kw = tensor.kernel_size
     matrices = []
@@ -69,10 +75,18 @@ def _offset_matrices(
             # re-raveled on every mat-vec of the simulation hot loop.
             data = np.ascontiguousarray(tensor.kernels[:, :, :, dy, dx])
             matrix = tensor.plane.like(data)
+            if value_dtype is not None:
+                matrix = matrix.with_value_dtype(
+                    value_dtype, fixed_point=fixed_point
+                )
             if backend is not None:
                 matrix.set_backend(backend)
             matrices.append(matrix)
     return matrices
+
+
+# Back-compat alias for pre-generalization callers.
+_offset_matrices = offset_matrices
 
 
 def run_conv_layer(
@@ -83,6 +97,8 @@ def run_conv_layer(
     padding: int = 0,
     enforce_capacity: bool = True,
     backend: str | None = None,
+    value_dtype: str | None = None,
+    fixed_point=None,
 ) -> ConvSimulationResult:
     """Lower a PD convolution onto the FC engine and execute it.
 
@@ -95,15 +111,28 @@ def run_conv_layer(
         enforce_capacity: per-PE SRAM capacity check (see engine docs).
         backend: kernel backend for the lowered mat-vecs (defaults to the
             tensor's pinned backend, else the process default).
+        value_dtype: lower through reduced-precision offset matrices
+            (``"float32"`` / ``"int16"``; see :func:`offset_matrices`).
+        fixed_point: fixed-point format for ``value_dtype="int16"``.
 
     Returns:
         :class:`ConvSimulationResult` whose ``output`` equals the direct
         convolution (verified in the tests).
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)
     c_out, c_in, kh, kw = tensor.shape
     if x.ndim != 3 or x.shape[0] != c_in:
         raise ValueError(f"expected input (c_in={c_in}, H, W), got {x.shape}")
+
+    matrices = offset_matrices(
+        tensor, backend=backend, value_dtype=value_dtype,
+        fixed_point=fixed_point,
+    )
+    # Temporaries follow the offset family's compute dtype (float32
+    # storage accumulates in float32, int16 dequantizes to float64) --
+    # a dtype-less np.zeros here silently upcast every float32 lowering.
+    compute_dtype = matrices[0].compute_dtype
+    x = np.asarray(x, dtype=compute_dtype)
     if padding:
         x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
     __, height, width = x.shape
@@ -112,12 +141,11 @@ def run_conv_layer(
     if oh <= 0 or ow <= 0:
         raise ValueError("non-positive conv output size")
 
-    matrices = _offset_matrices(tensor, backend=backend)
-    output = np.zeros((c_out, oh, ow))
+    output = np.zeros((c_out, oh, ow), dtype=compute_dtype)
     cycles = macs = nonzero = skipped = 0
     for oy in range(oh):
         for ox in range(ow):
-            acc = np.zeros(c_out)
+            acc = np.zeros(c_out, dtype=compute_dtype)
             for offset, matrix in enumerate(matrices):
                 dy, dx = divmod(offset, kw)
                 column = x[:, oy * stride + dy, ox * stride + dx]
