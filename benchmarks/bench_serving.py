@@ -28,6 +28,15 @@ Usage::
     python benchmarks/bench_serving.py --dtype float32        # storage mode
     python benchmarks/bench_serving.py --open-loop            # latency vs load
     python benchmarks/bench_serving.py --open-loop --smoke    # CI canary
+    python benchmarks/bench_serving.py --workloads            # FC+conv+recurrent
+    python benchmarks/bench_serving.py --workloads --smoke    # CI canary
+
+``--workloads`` serves the whole workload matrix -- the AlexNet FC
+stack, LeNet-style and ResNet-20-style PD conv pipelines, and the NMT
+LSTM cell -- sharded and multi-threaded against unsharded sequential
+references (bit-exactness required for every stage kind), then splits
+one bursty open-loop arrival stream between a vision (LeNet) and a
+translation (NMT) server.
 
 The closed-loop run also emits a host-time thread comparison: the same
 drain at the acceptance shard count across executor thread counts, with
@@ -46,9 +55,13 @@ import time
 
 from _common import emit, format_table
 from repro.serve import (
+    format_mixed_report,
     format_open_loop_report,
+    format_workload_matrix,
+    run_mixed_traffic,
     run_open_loop_sweep,
     run_serving_sweep,
+    run_workload_matrix,
 )
 
 FULL_SHARDS = (1, 2, 4, 8)
@@ -96,6 +109,70 @@ def run_open_loop(args) -> int:
     return 1 if failures else 0
 
 
+def run_workloads(args) -> int:
+    """The ``--workloads`` path: FC + conv + recurrent serving matrix.
+
+    Every named workload (AlexNet-FC, LeNet-style conv, ResNet-20-style
+    conv, NMT LSTM cell) runs sharded and multi-threaded against its
+    unsharded sequential reference, bit-exactness required, followed by
+    a mixed vision+translation run: one open-loop arrival stream (PR 7
+    generators) split between a LeNet server and an NMT server.
+    """
+    smoke = args.smoke
+    scale = args.scale if args.scale is not None else 8
+    # Default to a multiple of the batch limit: a trailing partial batch
+    # would wait out the deadline flush and the matrix would measure the
+    # deadline, not the engines.
+    requests = (
+        args.requests if args.requests is not None else (8 if smoke else 32)
+    )
+    thread_counts = tuple(args.threads) if args.threads else (
+        (2,) if smoke else (1, 2)
+    )
+    start = time.perf_counter()
+    sections = []
+    failures = []
+    for threads in thread_counts:
+        rows = run_workload_matrix(
+            num_shards=ACCEPTANCE_SHARDS,
+            num_requests=requests,
+            max_batch_size=args.max_batch,
+            flush_deadline_us=args.deadline_us,
+            scale=scale,
+            seed=args.seed,
+            num_threads=threads,
+            value_dtype=args.dtype if args.dtype != "float64" else None,
+        )
+        sections.append(format_workload_matrix(rows))
+        failures.extend(
+            f"{row.workload} @ {row.num_threads} threads: outputs diverge "
+            "from the unsharded reference"
+            for row in rows
+            if not row.outputs_match
+        )
+    mixed = run_mixed_traffic(
+        process="bursty",
+        load=0.8,
+        num_requests=requests,
+        num_shards=ACCEPTANCE_SHARDS,
+        num_threads=thread_counts[-1],
+        seed=args.seed,
+        max_batch_size=args.max_batch,
+        flush_deadline_us=args.deadline_us,
+    )
+    sections.append(format_mixed_report(mixed))
+    failures.extend(mixed.failures())
+    wall = time.perf_counter() - start
+    text = "\n\n".join(sections) + f"\n\n(wall time {wall:.1f}s)"
+    emit(
+        "bench_serving_workloads_smoke" if smoke else "bench_serving_workloads",
+        text,
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -119,6 +196,10 @@ def main() -> int:
                         help="tail-latency study under open-loop arrivals "
                              "(Poisson/bursty/diurnal) instead of the "
                              "closed-loop shard sweep")
+    parser.add_argument("--workloads", action="store_true",
+                        help="serve the whole workload matrix (FC + conv + "
+                             "recurrent) plus a mixed vision+translation "
+                             "traffic run instead of the shard sweep")
     parser.add_argument("--slo-us", type=float, default=None,
                         help="p99 SLO for knee finding (open-loop mode; "
                              "default 2x the unloaded p99)")
@@ -126,6 +207,8 @@ def main() -> int:
 
     if args.open_loop:
         return run_open_loop(args)
+    if args.workloads:
+        return run_workloads(args)
 
     scale = args.scale if args.scale is not None else (8 if args.smoke else 1)
     requests = (

@@ -9,6 +9,8 @@ Usage (module form):
     python -m repro.cli memory      --sram-mb 16
     python -m repro.cli serve-bench --shards 4 [--requests 32] [--scale 1]
     python -m repro.cli serve-bench --arrivals poisson [--slo-us 150] [--load 0.8]
+    python -m repro.cli serve-bench --workload lenet|resnet20|nmt|all
+    python -m repro.cli serve-bench --mixed [--arrivals bursty] [--load 0.8]
 
 The kernel backend used for the numerical products can also be selected
 process-wide with the ``REPRO_BACKEND`` environment variable
@@ -142,6 +144,10 @@ def _cmd_memory(args) -> int:
 def _cmd_serve_bench(args) -> int:
     from repro.serve import format_report, run_serving_benchmark
 
+    if args.mixed:
+        return _cmd_serve_bench_mixed(args)
+    if args.workload != "alexnet-fc":
+        return _cmd_serve_bench_workloads(args)
     if args.arrivals:
         return _cmd_serve_bench_open_loop(args)
     report = run_serving_benchmark(
@@ -158,6 +164,51 @@ def _cmd_serve_bench(args) -> int:
     # A sharded/unsharded mismatch is a correctness failure, not a perf
     # number -- make it visible to scripts.
     return 0 if report.outputs_match else 1
+
+
+def _cmd_serve_bench_workloads(args) -> int:
+    from repro.serve import (
+        format_workload_matrix,
+        run_workload_matrix,
+        workload_names,
+    )
+
+    workloads = (
+        workload_names() if args.workload == "all" else (args.workload,)
+    )
+    rows = run_workload_matrix(
+        workloads=workloads,
+        num_shards=args.shards,
+        num_requests=args.requests,
+        max_batch_size=args.max_batch,
+        flush_deadline_us=args.deadline_us,
+        scale=args.scale,
+        seed=args.seed,
+        num_threads=args.threads,
+        value_dtype=args.dtype,
+    )
+    print(format_workload_matrix(rows))
+    return 0 if all(row.outputs_match for row in rows) else 1
+
+
+def _cmd_serve_bench_mixed(args) -> int:
+    from repro.serve import format_mixed_report, run_mixed_traffic
+
+    report = run_mixed_traffic(
+        process=(args.arrivals or ["poisson"])[0],
+        load=(args.load or [0.8])[0],
+        num_requests=args.requests,
+        num_shards=args.shards,
+        num_threads=args.threads,
+        seed=args.seed,
+        max_batch_size=args.max_batch,
+        flush_deadline_us=args.deadline_us,
+    )
+    print(format_mixed_report(report))
+    failures = report.failures()
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_serve_bench_open_loop(args) -> int:
@@ -222,6 +273,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded multi-engine serving throughput vs one engine",
     )
     srv.add_argument("--shards", type=int, default=4)
+    srv.add_argument("--workload", default="alexnet-fc",
+                     choices=("alexnet-fc", "lenet", "resnet20", "nmt",
+                              "all"),
+                     help="serving workload: the AlexNet FC stack "
+                          "(default, full closed/open-loop machinery), a "
+                          "conv pipeline (lenet/resnet20), the NMT LSTM "
+                          "cell, or the whole matrix ('all')")
+    srv.add_argument("--mixed", action="store_true",
+                     help="mixed-traffic mode: split one open-loop "
+                          "arrival stream between a vision (lenet) and a "
+                          "translation (nmt) server")
     srv.add_argument("--requests", type=int, default=32)
     srv.add_argument("--max-batch", type=int, default=16)
     srv.add_argument("--deadline-us", type=float, default=50.0)

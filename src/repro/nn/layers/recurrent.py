@@ -20,7 +20,7 @@ from repro.core import BlockPermutedDiagonalMatrix, PermutationSpec
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 
-__all__ = ["LSTM", "LSTMCell"]
+__all__ = ["LSTM", "LSTMCell", "sigmoid"]
 
 _GATES = ("i", "f", "g", "o")
 
@@ -84,8 +84,17 @@ class _PDOp(Module):
         return self.matrix.rmatmat(dy)
 
 
-def _sigmoid(x: np.ndarray) -> np.ndarray:
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """The cell's gate nonlinearity (clipped for exp overflow).
+
+    Public because the serving runtime's recurrent stage must apply the
+    *same* function the cell applies -- bit-identical served steps depend
+    on sharing this exact expression, not a lookalike.
+    """
     return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+_sigmoid = sigmoid
 
 
 class LSTMCell(Module):

@@ -14,20 +14,29 @@ sharded serving bundles of :mod:`repro.serve.bundle`).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core import BlockPermDiagTensor4D, BlockPermutedDiagonalMatrix
 from repro.nn.layers.activations import ReLU, Tanh
 from repro.nn.layers.dropout import Dropout
 from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.perm_diag_conv2d import PermDiagConv2D
 from repro.nn.layers.perm_diag_linear import PermDiagLinear
+from repro.nn.layers.pooling import MaxPool2D
+from repro.nn.layers.recurrent import LSTM, LSTMCell
 from repro.nn.module import Module
 from repro.nn.sequential import Sequential
 
 __all__ = [
+    "ConvStageSpec",
+    "FCStageSpec",
+    "RecurrentStageSpec",
     "UnsupportedLayerError",
     "load_model",
     "model_engine_layers",
+    "model_stage_specs",
     "save_model",
 ]
 
@@ -148,6 +157,145 @@ def model_engine_layers(
             "fixed_point requires value_dtype='int16' (got value_dtype=None)"
         )
     return layers
+
+
+@dataclass
+class FCStageSpec:
+    """One FC serving stage: a PD matrix plus its ActU mode."""
+
+    matrix: BlockPermutedDiagonalMatrix
+    activation: str | None = None
+
+
+@dataclass
+class ConvStageSpec:
+    """One lowered-conv serving stage.
+
+    ``tensor`` is the layer's *current* PD weight tensor
+    (:meth:`~repro.nn.PermDiagConv2D.to_tensor`, repacked from the dense
+    trainable weight); ``pool`` is an optional non-overlapping square
+    max-pool factor fused after the activation.  The input spatial size is
+    supplied at server/bundle construction, not here -- the same conv
+    stack serves any spatial resolution.
+    """
+
+    tensor: BlockPermDiagTensor4D
+    activation: str | None = None
+    stride: int = 1
+    padding: int = 0
+    pool: int | None = None
+
+
+@dataclass
+class RecurrentStageSpec:
+    """One per-timestep LSTM-cell serving stage (the cell's live weights)."""
+
+    cell: LSTMCell
+
+
+def model_stage_specs(model: Module) -> list:
+    """Flatten a model into serving-stage specs: FC, conv, and recurrent.
+
+    The staged superset of :func:`model_engine_layers`: the same walk
+    rules for PD FC layers, activations, ``Dropout``/``Flatten``, plus
+
+    - :class:`~repro.nn.PermDiagConv2D` (zero bias) becomes a
+      :class:`ConvStageSpec`; a following ``ReLU``/``Tanh`` attaches as
+      its activation and a following non-overlapping square
+      :class:`~repro.nn.MaxPool2D` fuses as its ``pool`` factor;
+    - :class:`~repro.nn.LSTM` / :class:`~repro.nn.LSTMCell` (PD weight
+      ops) becomes a :class:`RecurrentStageSpec` serving one timestep:
+      request layout ``[x | h_prev | c_prev] -> [h | c]``.
+
+    Anything else raises :class:`UnsupportedLayerError` naming the
+    offending module and its position in ``model.modules()`` order --
+    never a silent skip.  Returned specs reference the model's **live**
+    weights (FC matrices and cell gate matrices alias parameter storage;
+    conv tensors are repacked from the current dense weight).
+    """
+    specs: list = []
+    pending = None  # spec still accepting an activation
+    last_conv = None  # spec still accepting a fused pool
+    skip_ids: set[int] = set()
+    for index, module in enumerate(model.modules()):
+        if id(module) in skip_ids:
+            continue
+        if isinstance(module, Sequential):
+            continue
+        if isinstance(module, PermDiagLinear):
+            if module.bias is not None and np.any(module.bias.value):
+                raise UnsupportedLayerError(
+                    index, module,
+                    "carries a non-zero bias; the engine's FC datapath "
+                    "computes W x only",
+                )
+            specs.append(FCStageSpec(module.matrix))
+            pending, last_conv = specs[-1], None
+        elif isinstance(module, PermDiagConv2D):
+            if module.bias is not None and np.any(module.bias.value):
+                raise UnsupportedLayerError(
+                    index, module,
+                    "carries a non-zero bias; the lowered conv stage "
+                    "accumulates W * x only",
+                )
+            specs.append(ConvStageSpec(
+                module.to_tensor(),
+                stride=module.stride,
+                padding=module.padding,
+            ))
+            pending = last_conv = specs[-1]
+        elif isinstance(module, (ReLU, Tanh)):
+            if pending is None:
+                raise UnsupportedLayerError(
+                    index, module,
+                    "is an activation that does not follow a PD FC or "
+                    "conv layer",
+                )
+            pending.activation = "relu" if isinstance(module, ReLU) else "tanh"
+            pending = None
+        elif isinstance(module, MaxPool2D):
+            kh, kw = module.kernel_size
+            if (
+                last_conv is None
+                or last_conv.pool is not None
+                or kh != kw
+                or module.stride != kh
+            ):
+                raise UnsupportedLayerError(
+                    index, module,
+                    "must directly follow a conv stage as a "
+                    "non-overlapping square pool (stride == kernel)",
+                )
+            last_conv.pool = kh
+            pending = last_conv = None
+        elif isinstance(module, (Dropout, Flatten)):
+            continue  # inference no-ops (conv stages emit channel-major flat)
+        elif isinstance(module, (LSTM, LSTMCell)):
+            cell = module.cell if isinstance(module, LSTM) else module
+            if any(
+                not isinstance(
+                    getattr(op, "matrix", None), BlockPermutedDiagonalMatrix
+                )
+                for op in cell.weight_matrices
+            ):
+                raise UnsupportedLayerError(
+                    index, module,
+                    "uses dense weight ops; the recurrent stage serves "
+                    "PD gate matrices only (construct with p set)",
+                )
+            # Consume the whole recurrent subtree as one stage.
+            skip_ids.update(id(sub) for sub in module.modules())
+            specs.append(RecurrentStageSpec(cell))
+            pending = last_conv = None
+        else:
+            raise UnsupportedLayerError(
+                index, module,
+                "is not servable (expected PermDiagLinear, PermDiagConv2D "
+                "+ ReLU/Tanh/MaxPool2D, or PD LSTM stacks)",
+            )
+    if not specs:
+        raise ValueError("model contains no servable PD stages")
+    return specs
 
 
 def save_model(path: str, model: Module, include_plans: bool = False) -> None:

@@ -11,7 +11,12 @@ pipeline between the per-layer shard arrays.
   per-layer, per-shard and per-request statistics, plus admission
   control (bounded queue, reject-newest shedding) for graceful
   degradation past the saturation knee.
-- :class:`ShardedLayer` -- one layer split across shard engines.
+- :class:`ServedStage` -- the stage protocol, with three
+  implementations: :class:`ShardedLayer` (one FC layer split across
+  shard engines), :class:`LoweredConvStage` (a PD convolution lowered
+  to per-offset FC batches, row-sharded over output channels), and
+  :class:`RecurrentStage` (one LSTM-cell timestep, gate matrices
+  row-sharded over hidden units).
 - :class:`MicroBatcher` / :class:`BatchAssembler` / :class:`Request` /
   :class:`MicroBatch` -- the deterministic, order-preserving batching
   queue (offline plan and streaming forms).
@@ -29,31 +34,47 @@ pipeline between the per-layer shard arrays.
 
 from repro.serve.batching import BatchAssembler, MicroBatch, MicroBatcher, Request
 from repro.serve.bench import (
+    MixedClassStats,
+    MixedTrafficReport,
     OpenLoopPoint,
     OpenLoopReport,
     ServingBenchReport,
+    WorkloadMatrixRow,
+    WorkloadSpec,
     build_alexnet_fc_stack,
+    build_workload,
+    format_mixed_report,
     format_open_loop_report,
     format_report,
+    format_workload_matrix,
     make_requests,
     max_sustainable_qps,
+    run_mixed_traffic,
     run_open_loop_point,
     run_open_loop_sweep,
     run_serving_benchmark,
     run_serving_sweep,
+    run_workload_matrix,
+    workload_names,
 )
 from repro.serve.bundle import (
     export_model_bundle,
     export_sharded_bundle,
+    export_staged_bundle,
     load_sharded_bundle,
+    load_staged_bundle,
 )
 from repro.nn.serialization import UnsupportedLayerError
 from repro.serve.server import (
     EmptyServeReportError,
     LayerShardStats,
+    LoweredConvStage,
     ModelServer,
+    RecurrentStage,
     ServeReport,
+    ServedStage,
     ShardedLayer,
+    build_stages,
 )
 from repro.serve.traffic import (
     ArrivalProcess,
@@ -74,30 +95,46 @@ __all__ = [
     "DiurnalArrivals",
     "EmptyServeReportError",
     "LayerShardStats",
+    "MixedClassStats",
+    "MixedTrafficReport",
+    "LoweredConvStage",
     "MicroBatch",
     "MicroBatcher",
     "ModelServer",
     "OpenLoopPoint",
     "OpenLoopReport",
     "PoissonArrivals",
+    "RecurrentStage",
     "Request",
     "ServeReport",
+    "ServedStage",
     "ServingBenchReport",
     "ShardedLayer",
     "UnknownArrivalProcessError",
     "UnsupportedLayerError",
+    "WorkloadMatrixRow",
+    "WorkloadSpec",
     "arrival_process_names",
     "build_alexnet_fc_stack",
+    "build_stages",
+    "build_workload",
     "export_model_bundle",
     "export_sharded_bundle",
+    "export_staged_bundle",
+    "format_mixed_report",
     "format_open_loop_report",
     "format_report",
+    "format_workload_matrix",
     "load_sharded_bundle",
+    "load_staged_bundle",
     "make_requests",
     "make_arrival_process",
     "max_sustainable_qps",
+    "run_mixed_traffic",
     "run_open_loop_point",
     "run_open_loop_sweep",
     "run_serving_benchmark",
     "run_serving_sweep",
+    "run_workload_matrix",
+    "workload_names",
 ]

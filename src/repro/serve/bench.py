@@ -28,18 +28,28 @@ from repro.serve.server import ModelServer, ServeReport
 from repro.serve.traffic import US_PER_S, make_arrival_process
 
 __all__ = [
+    "MixedClassStats",
+    "MixedTrafficReport",
     "OpenLoopPoint",
     "OpenLoopReport",
     "ServingBenchReport",
+    "WorkloadMatrixRow",
+    "WorkloadSpec",
     "build_alexnet_fc_stack",
+    "build_workload",
+    "format_mixed_report",
     "format_open_loop_report",
     "format_report",
+    "format_workload_matrix",
     "make_requests",
     "max_sustainable_qps",
+    "run_mixed_traffic",
     "run_open_loop_point",
     "run_open_loop_sweep",
     "run_serving_benchmark",
     "run_serving_sweep",
+    "run_workload_matrix",
+    "workload_names",
 ]
 
 # (out, in, p, activation) of the AlexNet FC stack at paper scale
@@ -684,6 +694,429 @@ def format_open_loop_report(report: OpenLoopReport) -> str:
                 f"[{'within SLO' if slo_ok else 'SLO MISS'}], "
                 f"{'exact' if point.outputs_match else 'MISMATCH'}"
             )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Workload matrix: FC, conv, and recurrent pipelines through one harness.
+
+
+@dataclass
+class WorkloadSpec:
+    """A servable benchmark workload: a model plus its request recipe.
+
+    ``input_hw`` is the first conv stage's spatial input size (``None``
+    for FC / recurrent workloads); ``density`` is the activation density
+    requests are drawn at (recurrent requests carry dense state, vision
+    feature maps are dense post-normalization).
+    """
+
+    name: str
+    model: object
+    in_features: int
+    density: float
+    input_hw: tuple[int, int] | None = None
+
+    def make_server(
+        self,
+        num_shards: int,
+        num_threads: int | None = 1,
+        value_dtype: str | None = None,
+        config: EngineConfig | None = None,
+        **kwargs,
+    ) -> ModelServer:
+        return ModelServer.from_model(
+            self.model,
+            input_hw=self.input_hw,
+            value_dtype=value_dtype,
+            num_shards=num_shards,
+            num_threads=num_threads,
+            config=config,
+            **kwargs,
+        )
+
+
+def workload_names() -> tuple[str, ...]:
+    """The serving workloads ``--workload`` accepts."""
+    return ("alexnet-fc", "lenet", "resnet20", "nmt")
+
+
+def build_workload(
+    name: str,
+    scale: int = 8,
+    rng: np.random.Generator | int | None = 0,
+) -> WorkloadSpec:
+    """Build one named serving workload.
+
+    - ``alexnet-fc``: the paper's AlexNet FC stack (Table II block
+      sizes), width-divided by ``scale``, requests at Alex-FC6's Table
+      VII activation density -- the pre-existing FC benchmark.
+    - ``lenet``: a LeNet-style PD conv pipeline (PD conv 6->16 5x5 on a
+      14x14 map + ReLU + 2x2 max-pool, then the classic 400-120-84 FC
+      tail), fully PD so every stage runs on the engine.
+    - ``resnet20``: a ResNet-20-style PD conv backbone (three 3x3 PD
+      conv stages at widths 16/32/64 with stride-2 downsampling, no
+      batch-norm or residual adds -- those have no engine datapath) plus
+      pool and FC head.
+    - ``nmt``: one PD LSTM cell (the paper's Table III NMT layer shape
+      at reduced width, ``p = 8``), served one timestep per request with
+      ``[x | h | c]`` inputs.
+
+    ``scale`` only affects ``alexnet-fc``; the other workloads are
+    fixed small pipelines sized for simulation.
+    """
+    from repro.models import build_alexnet_fc
+    from repro.nn import (
+        Flatten,
+        MaxPool2D,
+        PermDiagConv2D,
+        PermDiagLinear,
+        ReLU,
+        Sequential,
+    )
+    from repro.nn.layers.recurrent import LSTMCell
+
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if name == "alexnet-fc":
+        model = build_alexnet_fc(scale=scale, dropout=0.0, rng=rng)
+        in_features = model.layers[0].matrix.shape[1]
+        return WorkloadSpec(
+            name, model, in_features, _ALEX_FC6_INPUT_DENSITY
+        )
+    if name == "lenet":
+        model = Sequential(
+            PermDiagConv2D(6, 16, 5, p=2, bias=False, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            PermDiagLinear(400, 120, p=4, bias=False, rng=rng),
+            ReLU(),
+            PermDiagLinear(120, 84, p=4, bias=False, rng=rng),
+            ReLU(),
+        )
+        return WorkloadSpec(
+            name, model, 6 * 14 * 14, 1.0, input_hw=(14, 14)
+        )
+    if name == "resnet20":
+        model = Sequential(
+            PermDiagConv2D(
+                16, 16, 3, p=4, stride=1, padding=1, bias=False, rng=rng
+            ),
+            ReLU(),
+            PermDiagConv2D(
+                16, 32, 3, p=4, stride=2, padding=1, bias=False, rng=rng
+            ),
+            ReLU(),
+            PermDiagConv2D(
+                32, 64, 3, p=4, stride=2, padding=1, bias=False, rng=rng
+            ),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            PermDiagLinear(64, 10, p=2, bias=False, rng=rng),
+        )
+        return WorkloadSpec(
+            name, model, 16 * 8 * 8, 1.0, input_hw=(8, 8)
+        )
+    if name == "nmt":
+        cell = LSTMCell(32, 64, p=8, rng=rng)
+        return WorkloadSpec(
+            name, cell, cell.input_size + 2 * cell.hidden_size, 1.0
+        )
+    raise ValueError(
+        f"unknown workload {name!r} (expected one of {workload_names()})"
+    )
+
+
+@dataclass
+class WorkloadMatrixRow:
+    """One (workload, shard/thread/dtype point) measurement.
+
+    The reference is the *unsharded* server (1 shard, sequential) over
+    the same requests; ``outputs_match`` asserts the sharded
+    multi-threaded pipeline reproduced it bit for bit.
+    """
+
+    workload: str
+    num_shards: int
+    num_threads: int
+    value_dtype: str
+    num_requests: int
+    num_stages: int
+    reference_rps: float
+    sharded_rps: float
+    speedup: float
+    p50_latency_us: float
+    p99_latency_us: float
+    outputs_match: bool
+    host_wall_s: float = 0.0
+
+
+def run_workload_matrix(
+    workloads: tuple[str, ...] | None = None,
+    num_shards: int = 4,
+    num_requests: int = 16,
+    max_batch_size: int = 8,
+    flush_deadline_us: float = 50.0,
+    scale: int = 8,
+    seed: int = 0,
+    config: EngineConfig | None = None,
+    num_threads: int | None = 1,
+    value_dtype: str | None = None,
+) -> list[WorkloadMatrixRow]:
+    """Run every named workload through the sharded serving stack.
+
+    Per workload: build the model once, serve the same request set
+    through an unsharded reference server (1 shard, sequential host) and
+    the sharded contender, and require the outputs to match **bit for
+    bit** -- across FC, lowered-conv, and recurrent stages alike.
+    """
+    if workloads is None:
+        workloads = workload_names()
+    config = config or EngineConfig()
+    rows = []
+    for name in workloads:
+        spec = build_workload(name, scale=scale, rng=seed)
+        xs = make_requests(
+            spec.in_features, num_requests, density=spec.density,
+            rng=seed + 1,
+        )
+        batch = min(max_batch_size, num_requests)
+        reference = spec.make_server(
+            num_shards=1,
+            num_threads=1,
+            value_dtype=value_dtype,
+            config=config,
+            max_batch_size=batch,
+            flush_deadline_us=flush_deadline_us,
+        )
+        reference.submit_many(xs)
+        ref_report = reference.drain()
+        ref_outputs = np.stack(ref_report.outputs)
+
+        server = spec.make_server(
+            num_shards=num_shards,
+            num_threads=num_threads,
+            value_dtype=value_dtype,
+            config=config,
+            max_batch_size=batch,
+            flush_deadline_us=flush_deadline_us,
+        )
+        server.submit_many(xs)
+        wall_start = time.perf_counter()
+        report = server.drain()
+        host_wall_s = time.perf_counter() - wall_start
+        rows.append(WorkloadMatrixRow(
+            workload=name,
+            num_shards=num_shards,
+            num_threads=server.num_threads,
+            value_dtype=value_dtype or "float64",
+            num_requests=num_requests,
+            num_stages=len(server.layers),
+            reference_rps=ref_report.throughput_rps,
+            sharded_rps=report.throughput_rps,
+            speedup=(
+                report.throughput_rps / ref_report.throughput_rps
+                if ref_report.throughput_rps > 0
+                else 0.0
+            ),
+            p50_latency_us=report.latency_percentile(50),
+            p99_latency_us=report.latency_percentile(99),
+            outputs_match=bool(
+                np.array_equal(np.stack(report.outputs), ref_outputs)
+            ),
+            host_wall_s=host_wall_s,
+        ))
+    return rows
+
+
+def format_workload_matrix(rows: list[WorkloadMatrixRow]) -> str:
+    """Human-readable workload-matrix table."""
+    if not rows:
+        return "workload matrix: no rows"
+    head = rows[0]
+    lines = [
+        f"workload matrix   : {head.num_shards} shards, "
+        f"{head.num_threads} host threads, {head.value_dtype} storage, "
+        f"{head.num_requests} requests/workload",
+        "",
+        f"{'workload':<12} {'stages':>6} {'ref_rps':>12} {'sharded_rps':>12} "
+        f"{'speedup':>8} {'p50_us':>8} {'p99_us':>8} {'exact':>6}",
+        "-" * 78,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<12} {row.num_stages:>6d} "
+            f"{row.reference_rps:>12,.0f} {row.sharded_rps:>12,.0f} "
+            f"{row.speedup:>7.2f}x {row.p50_latency_us:>8.1f} "
+            f"{row.p99_latency_us:>8.1f} "
+            f"{'yes' if row.outputs_match else 'NO':>6}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Mixed traffic: vision + translation classes sharing one arrival stream.
+
+
+@dataclass
+class MixedClassStats:
+    """Per-class slice of a mixed-traffic run."""
+
+    workload: str
+    num_requests: int
+    achieved_qps: float
+    p50_us: float
+    p99_us: float
+    outputs_match: bool
+
+
+@dataclass
+class MixedTrafficReport:
+    """A mixed vision + translation open-loop run.
+
+    One seeded arrival stream (PR 7 generators) is split request-by-
+    request between two served pipelines -- even indices to the vision
+    class, odd to the translation class -- so both classes see the same
+    burstiness.  ``offered_qps`` is the total stream rate, anchored so
+    each class runs at ``load`` fraction of the *slower* class's
+    capacity probe.
+    """
+
+    process: str
+    load: float
+    offered_qps: float
+    num_requests: int
+    num_shards: int
+    seed: int
+    classes: list[MixedClassStats] = field(default_factory=list)
+
+    def failures(self) -> list[str]:
+        return [
+            f"mixed[{stats.workload}]: outputs diverge from the "
+            "unsharded reference"
+            for stats in self.classes
+            if not stats.outputs_match
+        ]
+
+
+def run_mixed_traffic(
+    process: str = "poisson",
+    load: float = 0.8,
+    num_requests: int = 24,
+    num_shards: int = 4,
+    num_threads: int | None = 1,
+    seed: int = 0,
+    max_batch_size: int = 8,
+    flush_deadline_us: float = 50.0,
+    config: EngineConfig | None = None,
+    vision: str = "lenet",
+    translation: str = "nmt",
+) -> MixedTrafficReport:
+    """Serve vision and translation classes off one arrival stream.
+
+    ``num_requests`` is the per-class count.  Each class's capacity is
+    probed with one full micro-batch (the open-loop anchor methodology);
+    the stream rate is ``2 * load * min(capacities)`` so the slower
+    class runs at ``load`` fraction of saturation.  Outputs of both
+    classes are compared bit-for-bit against their own unsharded
+    burst-mode references -- per-request outputs are independent of
+    batching and arrival times, so the comparison is exact.
+    """
+    config = config or EngineConfig()
+    cycles_per_us = config.clock_ghz * 1e3
+    batch = min(max_batch_size, num_requests)
+    specs = [
+        build_workload(vision, rng=seed),
+        build_workload(translation, rng=seed),
+    ]
+    request_sets = [
+        make_requests(
+            spec.in_features, num_requests, density=spec.density,
+            rng=seed + 1 + idx,
+        )
+        for idx, spec in enumerate(specs)
+    ]
+
+    capacities = []
+    references = []
+    for spec, xs in zip(specs, request_sets):
+        reference = spec.make_server(
+            num_shards=1, num_threads=1, config=config,
+            max_batch_size=batch, flush_deadline_us=flush_deadline_us,
+        )
+        reference.submit_many(xs)
+        ref_report = reference.drain()
+        references.append(np.stack(ref_report.outputs))
+        probe = spec.make_server(
+            num_shards=num_shards, num_threads=1, config=config,
+            max_batch_size=batch, flush_deadline_us=flush_deadline_us,
+        )
+        probe.submit_many(xs[:batch])
+        probe_report = probe.drain()
+        bottleneck_us = max(probe_report.layer_cycles) / cycles_per_us
+        capacities.append(batch / (bottleneck_us * 1e-6))
+
+    offered_qps = 2.0 * load * min(capacities)
+    arrivals = make_arrival_process(process, offered_qps, seed=seed).generate(
+        2 * num_requests
+    )
+    servers = [
+        spec.make_server(
+            num_shards=num_shards, num_threads=num_threads, config=config,
+            max_batch_size=batch, flush_deadline_us=flush_deadline_us,
+        )
+        for spec in specs
+    ]
+    # Interleave: even stream slots -> vision, odd -> translation.
+    for idx, arrival in enumerate(arrivals):
+        cls = idx % 2
+        servers[cls].submit(request_sets[cls][idx // 2], arrival_us=arrival)
+
+    report = MixedTrafficReport(
+        process=process,
+        load=load,
+        offered_qps=offered_qps,
+        num_requests=2 * num_requests,
+        num_shards=num_shards,
+        seed=seed,
+    )
+    for spec, server, expected in zip(specs, servers, references):
+        drain = server.drain()
+        report.classes.append(MixedClassStats(
+            workload=spec.name,
+            num_requests=drain.num_requests,
+            achieved_qps=drain.throughput_rps,
+            p50_us=drain.latency_percentile(50),
+            p99_us=drain.latency_percentile(99),
+            outputs_match=bool(
+                np.array_equal(np.stack(drain.outputs), expected)
+            ),
+        ))
+    return report
+
+
+def format_mixed_report(report: MixedTrafficReport) -> str:
+    """Human-readable mixed-traffic summary."""
+    lines = [
+        f"mixed traffic     : {report.process} arrivals, "
+        f"{report.offered_qps:,.0f} qps total "
+        f"({report.load:.2f}x of the slower class's capacity), "
+        f"{report.num_requests} requests, {report.num_shards} shards, "
+        f"seed {report.seed}",
+        "",
+        f"{'class':<12} {'requests':>8} {'qps':>12} {'p50_us':>8} "
+        f"{'p99_us':>8} {'exact':>6}",
+        "-" * 60,
+    ]
+    for stats in report.classes:
+        lines.append(
+            f"{stats.workload:<12} {stats.num_requests:>8d} "
+            f"{stats.achieved_qps:>12,.0f} {stats.p50_us:>8.1f} "
+            f"{stats.p99_us:>8.1f} "
+            f"{'yes' if stats.outputs_match else 'NO':>6}"
+        )
     return "\n".join(lines)
 
 

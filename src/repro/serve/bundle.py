@@ -2,13 +2,21 @@
 
 A bundle is a directory holding ``shard<K>.npz`` engine images (the exact
 :func:`~repro.hw.export_engine_image` format -- each contains shard ``K``'s
-row slice of **every** layer, serialized index plans included) plus a
-``manifest.json`` describing the model: layer shapes, block sizes,
-activations, per-layer value dtypes (float64 / float32 / int16
-fixed-point storage rides through the shard images untouched), and the
-block-row bounds each shard covers.  Loading a bundle
-therefore cold-starts a whole sharded server without recomputing any index
-arithmetic: every shard matrix is rebuilt through
+row slice of **every** served stage, serialized index plans included) plus
+a ``manifest.json`` describing the pipeline.  Since v3 each manifest layer
+entry carries a ``stage_kind`` tag (``"fc"`` / ``"conv"`` /
+``"recurrent"``) and a ``slots`` count -- the number of consecutive image
+entries the stage occupies per shard (1 for FC, ``kh*kw`` offset matrices
+for a lowered conv, 8 gate matrices for an LSTM cell step).  v1/v2
+manifests predate the tag and load as single-slot FC stages, so old
+FC-only bundles keep cold-starting unchanged.
+
+Stages that need non-matrix state (the recurrent stage's gate biases)
+store it in per-stage ``stage<L>_aux.npz`` sidecars referenced from the
+manifest.
+
+Loading a bundle cold-starts a whole sharded server without recomputing
+any index arithmetic: every shard matrix is rebuilt through
 :meth:`~repro.core.BlockPermutedDiagonalMatrix.from_plan`.
 """
 
@@ -17,15 +25,25 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.core import BlockPermutedDiagonalMatrix, row_shard_bounds
+import numpy as np
+
+from repro.core import BlockPermutedDiagonalMatrix
 from repro.hw.engine import export_engine_image, load_engine_image
 
-__all__ = ["export_model_bundle", "export_sharded_bundle", "load_sharded_bundle"]
+__all__ = [
+    "export_model_bundle",
+    "export_sharded_bundle",
+    "export_staged_bundle",
+    "load_sharded_bundle",
+    "load_staged_bundle",
+]
 
 # v2 added per-layer ``value_dtype`` / ``fixed_point`` manifest entries
-# (cross-checked against the shard images at load); v1 bundles predate
-# reduced-precision storage and always hold float64 layers.
-_BUNDLE_FORMAT_VERSION = 2
+# (cross-checked against the shard images at load); v3 added the
+# ``stage_kind`` / ``slots`` tags plus conv and recurrent stages.  v1
+# bundles predate reduced-precision storage and always hold float64
+# layers; v1/v2 entries have no tag and load as FC.
+_BUNDLE_FORMAT_VERSION = 3
 _BUNDLE_MIN_FORMAT_VERSION = 1
 _MANIFEST_NAME = "manifest.json"
 
@@ -34,12 +52,62 @@ def _shard_file(shard_idx: int) -> str:
     return f"shard{shard_idx}.npz"
 
 
+def _aux_file(stage_idx: int) -> str:
+    return f"stage{stage_idx}_aux.npz"
+
+
+def export_staged_bundle(directory, stages: list) -> None:
+    """Persist a served pipeline as ``num_shards`` engine images.
+
+    Args:
+        directory: bundle directory (created if missing).
+        stages: :class:`~repro.serve.server.ServedStage` objects, input to
+            output, all sharded to the same shard count.  Each stage
+            contributes its :meth:`manifest_entry` to the manifest, its
+            :meth:`image_slots` to every shard image, and (optionally) an
+            :meth:`aux_payload` sidecar.
+    """
+    if not stages:
+        raise ValueError("cannot export an empty stage stack")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    num_shards = stages[0].num_shards
+    if any(stage.num_shards != num_shards for stage in stages):
+        raise ValueError(
+            "all stages of one bundle must share a shard count, got "
+            f"{[stage.num_shards for stage in stages]}"
+        )
+    for shard_idx in range(num_shards):
+        slots = []
+        for stage in stages:
+            slots.extend(stage.image_slots(shard_idx))
+        export_engine_image(directory / _shard_file(shard_idx), slots)
+    entries = []
+    for stage_idx, stage in enumerate(stages):
+        entry = stage.manifest_entry()
+        payload = stage.aux_payload()
+        if payload is not None:
+            entry["aux_file"] = _aux_file(stage_idx)
+            np.savez(directory / entry["aux_file"], **payload)
+        entries.append(entry)
+    manifest = {
+        "bundle_version": _BUNDLE_FORMAT_VERSION,
+        "num_shards": num_shards,
+        "num_layers": len(stages),
+        "layers": entries,
+        "shard_files": [_shard_file(idx) for idx in range(num_shards)],
+    }
+    with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+
+
 def export_sharded_bundle(
     directory,
     layers: list[tuple[BlockPermutedDiagonalMatrix, str | None]],
     num_shards: int,
 ) -> None:
-    """Persist a multi-layer model as ``num_shards`` engine images.
+    """Persist a multi-layer FC model as ``num_shards`` engine images.
 
     Every layer is row-sharded with
     :meth:`~repro.core.BlockPermutedDiagonalMatrix.row_shards` semantics
@@ -55,46 +123,15 @@ def export_sharded_bundle(
     """
     if not layers:
         raise ValueError("cannot export an empty layer stack")
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    bounds_per_layer = [
-        row_shard_bounds(matrix.mb, num_shards) for matrix, _ in layers
-    ]
-    for shard_idx in range(num_shards):
-        shard_layers = [
-            (matrix.row_shard(*bounds_per_layer[layer_idx][shard_idx]), act)
-            for layer_idx, (matrix, act) in enumerate(layers)
-        ]
-        export_engine_image(directory / _shard_file(shard_idx), shard_layers)
-    manifest = {
-        "bundle_version": _BUNDLE_FORMAT_VERSION,
-        "num_shards": num_shards,
-        "num_layers": len(layers),
-        "layers": [
-            {
-                "shape": list(matrix.shape),
-                "p": matrix.p,
-                "activation": activation,
-                "value_dtype": matrix.value_dtype,
-                "fixed_point": (
-                    [
-                        matrix.fixed_point.total_bits,
-                        matrix.fixed_point.frac_bits,
-                    ]
-                    if matrix.fixed_point is not None
-                    else None
-                ),
-                "shard_block_bounds": [
-                    list(bounds) for bounds in bounds_per_layer[layer_idx]
-                ],
-            }
-            for layer_idx, (matrix, activation) in enumerate(layers)
+    from repro.serve.server import ShardedLayer
+
+    export_staged_bundle(
+        directory,
+        [
+            ShardedLayer(matrix, activation, num_shards)
+            for matrix, activation in layers
         ],
-        "shard_files": [_shard_file(idx) for idx in range(num_shards)],
-    }
-    with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2)
-        handle.write("\n")
+    )
 
 
 def export_model_bundle(
@@ -103,45 +140,96 @@ def export_model_bundle(
     num_shards: int,
     value_dtype: str | None = None,
     fixed_point=None,
+    input_hw: tuple[int, int] | None = None,
 ) -> None:
-    """Export a trained FC model as a sharded image bundle.
+    """Export a trained model as a sharded image bundle.
 
-    The model is flattened to ``(matrix, activation)`` pairs by
-    :func:`repro.nn.serialization.model_engine_layers` (which rejects
-    anything the engine cannot serve) and handed to
-    :func:`export_sharded_bundle`.  ``value_dtype`` / ``fixed_point``
-    quantize at export (float32 or int16 fixed-point serving copies;
-    the training weights stay float64).
+    The model is walked by
+    :func:`repro.nn.serialization.model_stage_specs` (which rejects
+    anything the engine cannot serve) and the resulting stages -- FC,
+    lowered-conv, recurrent -- are handed to :func:`export_staged_bundle`.
+    ``value_dtype`` / ``fixed_point`` quantize at export (float32 or int16
+    fixed-point serving copies; the training weights stay float64);
+    ``input_hw`` is the first conv stage's input spatial size (required
+    iff the model has conv layers).
     """
-    from repro.nn.serialization import model_engine_layers
+    from repro.nn.serialization import model_stage_specs
+    from repro.serve.server import build_stages
 
-    export_sharded_bundle(
+    export_staged_bundle(
         directory,
-        model_engine_layers(model, value_dtype=value_dtype, fixed_point=fixed_point),
-        num_shards,
+        build_stages(
+            model_stage_specs(model),
+            num_shards,
+            input_hw=input_hw,
+            value_dtype=value_dtype,
+            fixed_point=fixed_point,
+        ),
     )
 
 
-def load_sharded_bundle(
+def _check_slot(
+    stage_idx: int,
+    shard_idx: int,
+    matrix: BlockPermutedDiagonalMatrix,
+    slot_activation: str | None,
+    expected_shape: tuple[int, int],
+    expected_activation: str | None,
+    p: int,
+    value_dtype: str,
+    fixed_point,
+) -> None:
+    shard_fmt = (
+        (matrix.fixed_point.total_bits, matrix.fixed_point.frac_bits)
+        if matrix.fixed_point is not None
+        else None
+    )
+    if (
+        matrix.p != p
+        or matrix.shape != expected_shape
+        or slot_activation != expected_activation
+        or matrix.value_dtype != value_dtype
+        or shard_fmt != fixed_point
+    ):
+        raise ValueError(
+            f"layer {stage_idx} shard {shard_idx}: image "
+            f"(shape={matrix.shape}, p={matrix.p}, "
+            f"activation={slot_activation!r}, "
+            f"value_dtype={matrix.value_dtype!r}) does not match "
+            f"the manifest"
+        )
+
+
+def load_staged_bundle(
     directory,
     missing_backend: str = "error",
-) -> tuple[list[tuple[list[BlockPermutedDiagonalMatrix], str | None]], dict]:
-    """Reload a bundle: per layer, its shard matrices and activation.
+) -> tuple[list, dict]:
+    """Reload a bundle as ready-to-serve stage objects.
 
     Every shard matrix carries its deserialized index plan -- no index
-    arithmetic is recomputed -- and shard shapes are cross-checked against
-    the manifest so a truncated or mixed-up bundle fails loudly.
+    arithmetic is recomputed -- and shard shapes, dtypes, and stage
+    layouts are cross-checked against the manifest so a truncated or
+    mixed-up bundle fails loudly.  v1/v2 manifests (no ``stage_kind``)
+    load every entry as a single-slot FC stage.
 
     Args:
-        directory: bundle directory written by :func:`export_sharded_bundle`.
+        directory: bundle directory written by one of the exporters.
         missing_backend: forwarded to
             :func:`~repro.hw.load_engine_image` (``"error"`` or
             ``"fallback"``) for layers pinned to an unavailable backend.
 
     Returns:
-        ``(layers, manifest)`` where ``layers[l]`` is
-        ``(shard_matrices, activation)``.
+        ``(stages, manifest)`` where ``stages`` are
+        :class:`~repro.serve.server.ServedStage` objects ready to hand to
+        :class:`~repro.serve.server.ModelServer`.
     """
+    from repro.serve.server import (
+        LoweredConvStage,
+        RecurrentStage,
+        ShardedLayer,
+        _GATES,
+    )
+
     directory = Path(directory)
     manifest_path = directory / _MANIFEST_NAME
     if not manifest_path.is_file():
@@ -158,22 +246,31 @@ def load_sharded_bundle(
         )
     num_shards = int(manifest["num_shards"])
     num_layers = int(manifest["num_layers"])
+    specs = manifest["layers"]
+    if len(specs) != num_layers:
+        raise ValueError(
+            f"manifest lists {len(specs)} layers, says {num_layers}"
+        )
     shard_images = [
         load_engine_image(
             directory / shard_file, missing_backend=missing_backend
         )
         for shard_file in manifest["shard_files"]
     ]
+    slots_per_stage = [int(spec.get("slots", 1)) for spec in specs]
+    total_slots = sum(slots_per_stage)
     if len(shard_images) != num_shards or any(
-        len(image) != num_layers for image in shard_images
+        len(image) != total_slots for image in shard_images
     ):
         raise ValueError(
             f"bundle {directory} does not match its manifest "
-            f"({num_shards} shards x {num_layers} layers)"
+            f"({num_shards} shards x {total_slots} image slots)"
         )
-    layers: list[tuple[list[BlockPermutedDiagonalMatrix], str | None]] = []
-    for layer_idx, spec in enumerate(manifest["layers"]):
-        shards = []
+    stages = []
+    cursor = 0
+    for stage_idx, spec in enumerate(specs):
+        kind = spec.get("stage_kind", "fc")
+        slots = slots_per_stage[stage_idx]
         activation = spec["activation"]
         p = int(spec["p"])
         m, n = (int(v) for v in spec["shape"])
@@ -184,36 +281,112 @@ def load_sharded_bundle(
             if spec.get("fixed_point") is not None
             else None
         )
+        bounds = spec["shard_block_bounds"]
+        # Flat-slot layout: shard K's entries ``cursor..cursor+slots`` all
+        # belong to this stage and share its row bounds.
+        shard_slots: list[list[BlockPermutedDiagonalMatrix]] = []
         covered = 0
         for shard_idx in range(num_shards):
-            matrix, shard_activation = shard_images[shard_idx][layer_idx]
-            start, stop = spec["shard_block_bounds"][shard_idx]
+            start, stop = bounds[shard_idx]
             expected_m = min((stop - start) * p, m - start * p)
-            shard_fmt = (
-                (matrix.fixed_point.total_bits, matrix.fixed_point.frac_bits)
-                if matrix.fixed_point is not None
-                else None
-            )
-            if (
-                matrix.p != p
-                or matrix.shape != (expected_m, n)
-                or shard_activation != activation
-                or matrix.value_dtype != value_dtype
-                or shard_fmt != fixed_point
-            ):
-                raise ValueError(
-                    f"layer {layer_idx} shard {shard_idx}: image "
-                    f"(shape={matrix.shape}, p={matrix.p}, "
-                    f"activation={shard_activation!r}, "
-                    f"value_dtype={matrix.value_dtype!r}) does not match "
-                    f"the manifest"
+            matrices = []
+            for slot in range(slots):
+                matrix, slot_activation = shard_images[shard_idx][
+                    cursor + slot
+                ]
+                if kind == "recurrent":
+                    expected_n = n if slot < len(_GATES) else m
+                else:
+                    expected_n = n
+                _check_slot(
+                    stage_idx,
+                    shard_idx,
+                    matrix,
+                    slot_activation,
+                    (expected_m, expected_n),
+                    activation if kind == "fc" else None,
+                    p,
+                    value_dtype,
+                    fixed_point,
                 )
-            covered += matrix.shape[0]
-            shards.append(matrix)
+                matrices.append(matrix)
+            covered += matrices[0].shape[0]
+            shard_slots.append(matrices)
         if covered != m:
             raise ValueError(
-                f"layer {layer_idx}: shards cover {covered} rows, "
+                f"layer {stage_idx}: shards cover {covered} rows, "
                 f"manifest says {m}"
             )
-        layers.append((shards, activation))
-    return layers, manifest
+        cursor += slots
+        if kind == "fc":
+            if slots != 1:
+                raise ValueError(
+                    f"layer {stage_idx}: FC stages hold 1 slot, got {slots}"
+                )
+            stages.append(
+                ShardedLayer.from_shards(
+                    [matrices[0] for matrices in shard_slots], activation
+                )
+            )
+        elif kind == "conv":
+            stages.append(
+                LoweredConvStage.from_shard_slots(
+                    shard_slots,
+                    activation,
+                    channels=(m, n),
+                    kernel_size=tuple(
+                        int(v) for v in spec["kernel_size"]
+                    ),
+                    input_hw=tuple(int(v) for v in spec["input_hw"]),
+                    stride=int(spec["stride"]),
+                    padding=int(spec["padding"]),
+                    pool=(
+                        int(spec["pool"])
+                        if spec.get("pool") is not None
+                        else None
+                    ),
+                )
+            )
+        elif kind == "recurrent":
+            with np.load(directory / spec["aux_file"]) as aux:
+                biases = {gate: aux[f"bias_{gate}"] for gate in _GATES}
+            stages.append(
+                RecurrentStage.from_shard_slots(
+                    shard_slots,
+                    biases,
+                    input_size=int(spec["input_size"]),
+                    hidden_size=int(spec["hidden_size"]),
+                )
+            )
+        else:
+            raise ValueError(
+                f"layer {stage_idx}: unknown stage_kind {kind!r}"
+            )
+    return stages, manifest
+
+
+def load_sharded_bundle(
+    directory,
+    missing_backend: str = "error",
+) -> tuple[list[tuple[list[BlockPermutedDiagonalMatrix], str | None]], dict]:
+    """Reload an FC bundle: per layer, its shard matrices and activation.
+
+    The pre-v3 loader shape, kept for FC-only callers.  Bundles holding
+    conv or recurrent stages have no ``(shards, activation)`` form --
+    load those through :func:`load_staged_bundle`.
+
+    Returns:
+        ``(layers, manifest)`` where ``layers[l]`` is
+        ``(shard_matrices, activation)``.
+    """
+    from repro.serve.server import ShardedLayer
+
+    stages, manifest = load_staged_bundle(
+        directory, missing_backend=missing_backend
+    )
+    if any(not isinstance(stage, ShardedLayer) for stage in stages):
+        kinds = sorted({stage.stage_kind for stage in stages})
+        raise ValueError(
+            f"bundle holds non-FC stages {kinds}; use load_staged_bundle"
+        )
+    return [(stage.shards, stage.activation) for stage in stages], manifest

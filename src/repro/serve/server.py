@@ -39,22 +39,82 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core import BlockPermutedDiagonalMatrix
+from repro.core import BlockPermDiagTensor4D, BlockPermutedDiagonalMatrix
 from repro.hw.config import EngineConfig
+from repro.hw.conv_lowering import offset_matrices
 from repro.hw.engine import PermDNNEngine
+from repro.nn.layers.recurrent import LSTMCell, sigmoid
 from repro.serve.batching import MicroBatcher, Request
 
 __all__ = [
     "EmptyServeReportError",
     "LayerShardStats",
+    "LoweredConvStage",
     "ModelServer",
+    "RecurrentStage",
     "ServeReport",
+    "ServedStage",
     "ShardedLayer",
+    "build_stages",
 ]
+
+# Gate order of every recurrent stage's image slots: the four input
+# projections W then the four recurrent projections U, gates in LSTMCell
+# order (input, forget, cell, output).
+_GATES = ("i", "f", "g", "o")
 
 
 class EmptyServeReportError(ValueError):
     """Raised when percentile statistics are asked of an empty report."""
+
+
+class ServedStage:
+    """One pipeline stage of a :class:`ModelServer`: the serving protocol.
+
+    A (stage, shard) is **not** synonymous with an FC matmul: a stage is
+    anything that maps a flat ``(B, in_features)`` micro-batch to a flat
+    ``(B, out_features)`` one on an array of shard engines.  Implementations
+    (:class:`ShardedLayer` for FC, :class:`LoweredConvStage` for lowered
+    convolutions, :class:`RecurrentStage` for per-timestep LSTM cells) all
+    meet the same bars: shard ``K`` writes a disjoint column range of the
+    output (thread-safe stitching, bit-identical at every thread count) and
+    the concatenation equals the unsharded single-engine computation bit for
+    bit.
+
+    Interface (attributes set by subclass ``__init__``):
+
+    - ``num_shards`` / ``in_features`` / ``out_features``
+    - ``check_capacity(engines)`` -- SRAM validation per shard engine.
+    - ``run_batch(engines, x_batch, zero_skip=True, enforce_capacity=True,
+      executor=None) -> (outputs, shard_cycles, shard_macs)`` -- execute
+      one micro-batch; the stage's simulated time is ``max(shard_cycles)``.
+    """
+
+    stage_kind: str = "abstract"
+    num_shards: int
+    in_features: int
+    out_features: int
+
+    def check_capacity(self, engines: list[PermDNNEngine]) -> None:
+        raise NotImplementedError
+
+    def run_batch(
+        self,
+        engines: list[PermDNNEngine],
+        x_batch: np.ndarray,
+        zero_skip: bool = True,
+        enforce_capacity: bool = True,
+        executor: ThreadPoolExecutor | None = None,
+    ) -> tuple[np.ndarray, list[int], list[int]]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _run_shard_tasks(run_shard, tasks, executor, num_shards):
+        """Run per-shard closures, threaded or sequential, in shard order."""
+        if executor is not None and num_shards > 1:
+            futures = [executor.submit(run_shard, *task) for task in tasks]
+            return [future.result() for future in futures]
+        return [run_shard(*task) for task in tasks]
 
 
 @dataclass
@@ -78,7 +138,32 @@ class LayerShardStats:
     shed: int = 0
 
 
-class ShardedLayer:
+def _shard_block_bounds(
+    shard_matrices: list[BlockPermutedDiagonalMatrix],
+) -> list[tuple[int, int]]:
+    """Contiguous block-row bounds covered by each shard, in shard order."""
+    bounds = []
+    start = 0
+    for matrix in shard_matrices:
+        bounds.append((start, start + matrix.mb))
+        start += matrix.mb
+    return bounds
+
+
+def _matrix_storage_entry(matrix: BlockPermutedDiagonalMatrix) -> dict:
+    """The manifest's value-storage fields for one (family of) matrices."""
+    return {
+        "p": matrix.p,
+        "value_dtype": matrix.value_dtype,
+        "fixed_point": (
+            [matrix.fixed_point.total_bits, matrix.fixed_point.frac_bits]
+            if matrix.fixed_point is not None
+            else None
+        ),
+    }
+
+
+class ShardedLayer(ServedStage):
     """One FC layer split row-wise across shard engines.
 
     Built either from a full layer matrix (:meth:`__init__` calls
@@ -192,20 +277,638 @@ class ShardedLayer:
         for engine, shard in zip(engines, self.shards):
             tasks.append((engine, shard, offset))
             offset += shard.shape[0]
-        if executor is not None and self.num_shards > 1:
-            futures = [executor.submit(run_shard, *task) for task in tasks]
-            results = [future.result() for future in futures]
-        else:
-            results = [run_shard(*task) for task in tasks]
+        results = self._run_shard_tasks(
+            run_shard, tasks, executor, self.num_shards
+        )
         shard_cycles = [cycles for cycles, _ in results]
         shard_macs = [macs for _, macs in results]
         return outputs, shard_cycles, shard_macs
+
+    # -- bundle serialization hooks (see repro.serve.bundle) -----------
+
+    stage_kind = "fc"
+
+    def manifest_entry(self) -> dict:
+        entry = {
+            "stage_kind": self.stage_kind,
+            "slots": 1,
+            "shape": [self.out_features, self.in_features],
+            "activation": self.activation,
+            "shard_block_bounds": [
+                list(b) for b in _shard_block_bounds(self.shards)
+            ],
+        }
+        entry.update(_matrix_storage_entry(self.shards[0]))
+        return entry
+
+    def image_slots(self, shard_idx: int) -> list:
+        return [(self.shards[shard_idx], self.activation)]
+
+    def aux_payload(self) -> dict | None:
+        return None
 
     def __repr__(self) -> str:
         return (
             f"ShardedLayer({self.in_features} -> {self.out_features}, "
             f"shards={self.num_shards}, activation={self.activation!r})"
         )
+
+
+class LoweredConvStage(ServedStage):
+    """A PD convolution served as lowered per-offset FC batches.
+
+    Built on :func:`repro.hw.conv_lowering.offset_matrices`: the ``kh*kw``
+    per-offset channel matrices all share the weight tensor's channel-plane
+    index plan, and every offset matrix is row-sharded over **output
+    channels** with one shared set of block bounds -- so shard ``K`` owns
+    channel rows ``[lo, hi)`` of every offset and its output slice is a
+    contiguous range of the channel-major flattened feature map.  Requests
+    are flat ``c_in*H*W`` vectors (C-order, the same layout ``Flatten``
+    emits) and outputs are flat ``c_out*ph*pw`` vectors, so conv stages
+    chain with FC stages without any reshuffling.
+
+    Per micro-batch, each shard accumulates its offset products over the
+    ``(B*oh*ow, c_in)`` lowered column batches **in fixed offset order**,
+    applies the activation post-accumulation, and optionally fuses a
+    non-overlapping square max-pool -- all elementwise/per-channel, so
+    sharded === unsharded and threaded === sequential hold bit for bit.
+
+    Args:
+        tensor: PD CONV weight tensor ``(c_out, c_in, kh, kw)``.
+        activation: ActU mode applied after offset accumulation.
+        num_shards: engines this stage spreads over.
+        input_hw: spatial size ``(H, W)`` of the incoming feature map.
+        stride / padding: convolution geometry.
+        pool: optional fused max-pool factor (window == stride == pool).
+        backend / value_dtype / fixed_point: forwarded to
+            :func:`~repro.hw.conv_lowering.offset_matrices`.
+    """
+
+    stage_kind = "conv"
+
+    def __init__(
+        self,
+        tensor: BlockPermDiagTensor4D,
+        activation: str | None,
+        num_shards: int,
+        input_hw: tuple[int, int],
+        stride: int = 1,
+        padding: int = 0,
+        pool: int | None = None,
+        backend: str | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
+    ) -> None:
+        matrices = offset_matrices(
+            tensor,
+            backend=backend,
+            value_dtype=value_dtype,
+            fixed_point=fixed_point,
+        )
+        slot_shards = [matrix.row_shards(num_shards) for matrix in matrices]
+        shard_slots = [
+            [slot_shards[slot][shard] for slot in range(len(matrices))]
+            for shard in range(num_shards)
+        ]
+        self._init_from(
+            shard_slots,
+            activation,
+            channels=(tensor.shape[0], tensor.shape[1]),
+            kernel_size=tensor.kernel_size,
+            input_hw=input_hw,
+            stride=stride,
+            padding=padding,
+            pool=pool,
+        )
+
+    @classmethod
+    def from_shard_slots(
+        cls,
+        shard_slots: list[list[BlockPermutedDiagonalMatrix]],
+        activation: str | None,
+        channels: tuple[int, int],
+        kernel_size: tuple[int, int],
+        input_hw: tuple[int, int],
+        stride: int = 1,
+        padding: int = 0,
+        pool: int | None = None,
+    ) -> "LoweredConvStage":
+        """Wrap already-sharded offset matrices (e.g. from a v3 bundle)."""
+        stage = cls.__new__(cls)
+        stage._init_from(
+            [list(slots) for slots in shard_slots],
+            activation,
+            channels=channels,
+            kernel_size=kernel_size,
+            input_hw=input_hw,
+            stride=stride,
+            padding=padding,
+            pool=pool,
+        )
+        return stage
+
+    def _init_from(
+        self,
+        shard_slots,
+        activation,
+        channels,
+        kernel_size,
+        input_hw,
+        stride,
+        padding,
+        pool,
+    ) -> None:
+        if not shard_slots:
+            raise ValueError("a conv stage needs at least one shard")
+        c_out, c_in = channels
+        kh, kw = kernel_size
+        for slots in shard_slots:
+            if len(slots) != kh * kw:
+                raise ValueError(
+                    f"conv shard holds {len(slots)} offset matrices, "
+                    f"kernel {kh}x{kw} needs {kh * kw}"
+                )
+            if any(matrix.shape != slots[0].shape for matrix in slots):
+                raise ValueError("offset matrices of one shard disagree")
+            if slots[0].shape[1] != c_in:
+                raise ValueError(
+                    f"shard expects {slots[0].shape[1]} input channels, "
+                    f"stage says {c_in}"
+                )
+        rows = [slots[0].shape[0] for slots in shard_slots]
+        if sum(rows) != c_out:
+            raise ValueError(
+                f"shards cover {sum(rows)} output channels, stage has {c_out}"
+            )
+        height, width = (int(v) for v in input_hw)
+        oh = (height + 2 * padding - kh) // stride + 1
+        ow = (width + 2 * padding - kw) // stride + 1
+        if oh <= 0 or ow <= 0:
+            raise ValueError(
+                f"non-positive conv output size for input {input_hw}"
+            )
+        if pool is not None:
+            if pool < 1 or oh % pool or ow % pool:
+                raise ValueError(
+                    f"pool {pool} does not tile the {oh}x{ow} conv output"
+                )
+        self.shard_slots = shard_slots
+        self.activation = activation
+        self.num_shards = len(shard_slots)
+        self.channels = (c_out, c_in)
+        self.kernel_size = (kh, kw)
+        self.input_hw = (height, width)
+        self.stride = stride
+        self.padding = padding
+        self.pool = pool
+        self.conv_hw = (oh, ow)
+        self.output_hw = (
+            (oh // pool, ow // pool) if pool is not None else (oh, ow)
+        )
+        self.in_features = c_in * height * width
+        self.out_features = c_out * self.output_hw[0] * self.output_hw[1]
+        self._shard_rows = rows
+
+    def check_capacity(self, engines: list[PermDNNEngine]) -> None:
+        """Verify every offset matrix of every shard fits its engine."""
+        for engine, slots in zip(engines, self.shard_slots):
+            for matrix in slots:
+                engine.check_capacity(matrix)
+
+    def run_batch(
+        self,
+        engines: list[PermDNNEngine],
+        x_batch: np.ndarray,
+        zero_skip: bool = True,
+        enforce_capacity: bool = True,
+        executor: ThreadPoolExecutor | None = None,
+    ) -> tuple[np.ndarray, list[int], list[int]]:
+        """Execute one micro-batch of flattened feature maps.
+
+        The lowered column batches (one ``(B*oh*ow, c_in)`` matrix per
+        kernel offset) are built **once** on the calling thread and shared
+        read-only by every shard; shard tasks then accumulate their offset
+        products, apply activation/pool, and write disjoint output column
+        ranges -- the same stitching discipline as the FC path.
+        """
+        batch = x_batch.shape[0]
+        c_out, c_in = self.channels
+        kh, kw = self.kernel_size
+        oh, ow = self.conv_hw
+        compute_dtype = self.shard_slots[0][0].compute_dtype
+        x = np.asarray(x_batch, dtype=compute_dtype).reshape(
+            batch, c_in, *self.input_hw
+        )
+        if self.padding:
+            pad = self.padding
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        stride = self.stride
+        columns = []
+        for dy in range(kh):
+            for dx in range(kw):
+                patch = x[
+                    :,
+                    :,
+                    dy : dy + (oh - 1) * stride + 1 : stride,
+                    dx : dx + (ow - 1) * stride + 1 : stride,
+                ]
+                columns.append(
+                    np.ascontiguousarray(
+                        patch.transpose(0, 2, 3, 1)
+                    ).reshape(batch * oh * ow, c_in)
+                )
+        outputs = np.zeros(
+            (batch, self.out_features), dtype=compute_dtype
+        )
+        ph, pw = self.output_hw
+
+        def run_shard(engine, slots, rows, col_offset):
+            acc = np.zeros((batch * oh * ow, rows), dtype=compute_dtype)
+            cycles = macs = 0
+            for matrix, cols in zip(slots, columns):
+                out, slot_cycles, slot_macs = engine.run_fc_batch_detailed(
+                    matrix,
+                    cols,
+                    zero_skip=zero_skip,
+                    enforce_capacity=enforce_capacity,
+                )
+                acc += out
+                cycles += slot_cycles
+                macs += slot_macs
+            if self.activation == "relu":
+                acc = np.maximum(acc, 0.0)
+            elif self.activation == "tanh":
+                acc = np.tanh(acc)
+            fmap = acc.reshape(batch, oh, ow, rows).transpose(0, 3, 1, 2)
+            if self.pool is not None:
+                pool = self.pool
+                fmap = fmap.reshape(
+                    batch, rows, ph, pool, pw, pool
+                ).max(axis=(3, 5))
+            outputs[:, col_offset : col_offset + rows * ph * pw] = (
+                fmap.reshape(batch, rows * ph * pw)
+            )
+            return cycles, macs
+
+        tasks = []
+        col_offset = 0
+        for engine, slots, rows in zip(
+            engines, self.shard_slots, self._shard_rows
+        ):
+            tasks.append((engine, slots, rows, col_offset))
+            col_offset += rows * ph * pw
+        results = self._run_shard_tasks(
+            run_shard, tasks, executor, self.num_shards
+        )
+        shard_cycles = [cycles for cycles, _ in results]
+        shard_macs = [macs for _, macs in results]
+        return outputs, shard_cycles, shard_macs
+
+    # -- bundle serialization hooks ------------------------------------
+
+    def manifest_entry(self) -> dict:
+        entry = {
+            "stage_kind": self.stage_kind,
+            "slots": self.kernel_size[0] * self.kernel_size[1],
+            "shape": list(self.channels),
+            "activation": self.activation,
+            "kernel_size": list(self.kernel_size),
+            "input_hw": list(self.input_hw),
+            "stride": self.stride,
+            "padding": self.padding,
+            "pool": self.pool,
+            "shard_block_bounds": [
+                list(b)
+                for b in _shard_block_bounds(
+                    [slots[0] for slots in self.shard_slots]
+                )
+            ],
+        }
+        entry.update(_matrix_storage_entry(self.shard_slots[0][0]))
+        return entry
+
+    def image_slots(self, shard_idx: int) -> list:
+        return [
+            (matrix, None) for matrix in self.shard_slots[shard_idx]
+        ]
+
+    def aux_payload(self) -> dict | None:
+        return None
+
+    def __repr__(self) -> str:
+        c_out, c_in = self.channels
+        return (
+            f"LoweredConvStage({c_in}x{self.input_hw[0]}x{self.input_hw[1]}"
+            f" -> {c_out}x{self.output_hw[0]}x{self.output_hw[1]}, "
+            f"k={self.kernel_size}, shards={self.num_shards}, "
+            f"activation={self.activation!r}, pool={self.pool})"
+        )
+
+
+class RecurrentStage(ServedStage):
+    """One LSTM-cell timestep served across shard engines.
+
+    The paper's NMT stack is LSTM cells whose 8 component matrices (four
+    gates x {input projection W, recurrent projection U}) are all PD; this
+    stage drives all 8 through the engine per step.  Every gate matrix is
+    row-sharded over **hidden units** with one shared set of block bounds,
+    so shard ``K`` owns hidden rows ``[lo, hi)`` of every gate and
+    computes its slice of the whole cell update locally: gate
+    pre-activations from 8 engine batch calls, then the elementwise cell
+    math with exactly :meth:`~repro.nn.layers.recurrent.LSTMCell.step`'s
+    expressions (shared ``sigmoid``/``tanh``), writing the ``h`` and ``c``
+    row slices of the output.  Requests are ``[x | h_prev | c_prev]``
+    vectors and outputs ``[h | c]``, so a sequence is served by feeding
+    each step's output state back into the next request -- and an
+    encoder-decoder pair by feeding the encoder's final ``[h | c]`` into
+    the decoder stage's requests.
+
+    Args:
+        cell: the :class:`~repro.nn.layers.recurrent.LSTMCell` to serve
+            (gate matrices must be PD; weights and biases stay aliased,
+            so in-place training updates reach serving immediately).
+        num_shards: engines this stage spreads over.
+        backend / value_dtype / fixed_point: optional kernel backend and
+            reduced-precision conversion for the 16 shard matrix families.
+    """
+
+    stage_kind = "recurrent"
+
+    def __init__(
+        self,
+        cell: LSTMCell,
+        num_shards: int,
+        backend: str | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
+    ) -> None:
+        gate_matrices = []
+        for ops in (cell.w_ops, cell.u_ops):
+            for gate in _GATES:
+                matrix = getattr(ops[gate], "matrix", None)
+                if not isinstance(matrix, BlockPermutedDiagonalMatrix):
+                    raise ValueError(
+                        "RecurrentStage needs PD gate matrices; build the "
+                        "cell with p set (dense cells are not servable)"
+                    )
+                if value_dtype is not None:
+                    matrix = matrix.with_value_dtype(
+                        value_dtype, fixed_point=fixed_point
+                    )
+                    if backend is not None:
+                        matrix.set_backend(backend)
+                gate_matrices.append(matrix)
+        slot_shards = [
+            matrix.row_shards(num_shards) for matrix in gate_matrices
+        ]
+        shard_slots = [
+            [slot_shards[slot][shard] for slot in range(len(gate_matrices))]
+            for shard in range(num_shards)
+        ]
+        self._init_from(
+            shard_slots,
+            {gate: cell.biases[gate].value for gate in _GATES},
+            cell.input_size,
+            cell.hidden_size,
+        )
+
+    @classmethod
+    def from_shard_slots(
+        cls,
+        shard_slots: list[list[BlockPermutedDiagonalMatrix]],
+        biases: dict,
+        input_size: int,
+        hidden_size: int,
+    ) -> "RecurrentStage":
+        """Wrap already-sharded gate matrices (e.g. from a v3 bundle)."""
+        stage = cls.__new__(cls)
+        stage._init_from(
+            [list(slots) for slots in shard_slots],
+            dict(biases),
+            input_size,
+            hidden_size,
+        )
+        return stage
+
+    def _init_from(self, shard_slots, biases, input_size, hidden_size):
+        if not shard_slots:
+            raise ValueError("a recurrent stage needs at least one shard")
+        for slots in shard_slots:
+            if len(slots) != 2 * len(_GATES):
+                raise ValueError(
+                    f"recurrent shard holds {len(slots)} matrices, "
+                    f"a cell has {2 * len(_GATES)}"
+                )
+            rows = slots[0].shape[0]
+            for slot, matrix in enumerate(slots):
+                expected_n = input_size if slot < len(_GATES) else hidden_size
+                if matrix.shape != (rows, expected_n):
+                    raise ValueError(
+                        f"gate slot {slot}: shape {matrix.shape} does not "
+                        f"match ({rows}, {expected_n})"
+                    )
+        covered = sum(slots[0].shape[0] for slots in shard_slots)
+        if covered != hidden_size:
+            raise ValueError(
+                f"shards cover {covered} hidden rows, cell has {hidden_size}"
+            )
+        missing = set(_GATES) - set(biases)
+        if missing:
+            raise ValueError(f"missing gate biases: {sorted(missing)}")
+        self.shard_slots = shard_slots
+        self.num_shards = len(shard_slots)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.in_features = input_size + 2 * hidden_size
+        self.out_features = 2 * hidden_size
+        self.activation = None  # the cell math *is* the nonlinearity
+        bounds = []
+        start = 0
+        for slots in shard_slots:
+            bounds.append((start, start + slots[0].shape[0]))
+            start += slots[0].shape[0]
+        self._row_bounds = bounds
+        self.biases = biases
+        compute_dtype = shard_slots[0][0].compute_dtype
+        # Elementwise cell math runs in the engines' compute dtype; for
+        # float64 keep the live (aliased) bias views so in-place updates
+        # reach serving, like every other stage's weights.
+        if np.dtype(compute_dtype) == np.float64:
+            self._biases_c = biases
+        else:
+            self._biases_c = {
+                gate: np.asarray(value, dtype=compute_dtype)
+                for gate, value in biases.items()
+            }
+
+    def check_capacity(self, engines: list[PermDNNEngine]) -> None:
+        """Verify every gate matrix of every shard fits its engine."""
+        for engine, slots in zip(engines, self.shard_slots):
+            for matrix in slots:
+                engine.check_capacity(matrix)
+
+    def run_batch(
+        self,
+        engines: list[PermDNNEngine],
+        x_batch: np.ndarray,
+        zero_skip: bool = True,
+        enforce_capacity: bool = True,
+        executor: ThreadPoolExecutor | None = None,
+    ) -> tuple[np.ndarray, list[int], list[int]]:
+        """Execute one cell step for a micro-batch of ``[x|h|c]`` rows."""
+        hidden = self.hidden_size
+        x = x_batch[:, : self.input_size]
+        h_prev = x_batch[:, self.input_size : self.input_size + hidden]
+        c_prev = x_batch[:, self.input_size + hidden :]
+        compute_dtype = self.shard_slots[0][0].compute_dtype
+        c_prev_c = np.asarray(c_prev, dtype=compute_dtype)
+        outputs = np.zeros(
+            (x_batch.shape[0], 2 * hidden), dtype=compute_dtype
+        )
+
+        def run_shard(engine, slots, lo, hi):
+            cycles = macs = 0
+            pre = {}
+            for idx, gate in enumerate(_GATES):
+                w_out, w_cycles, w_macs = engine.run_fc_batch_detailed(
+                    slots[idx],
+                    x,
+                    zero_skip=zero_skip,
+                    enforce_capacity=enforce_capacity,
+                )
+                u_out, u_cycles, u_macs = engine.run_fc_batch_detailed(
+                    slots[len(_GATES) + idx],
+                    h_prev,
+                    zero_skip=zero_skip,
+                    enforce_capacity=enforce_capacity,
+                )
+                # Same association order as LSTMCell.step: (W x + U h) + b.
+                pre[gate] = w_out + u_out + self._biases_c[gate][lo:hi]
+                cycles += w_cycles + u_cycles
+                macs += w_macs + u_macs
+            gate_i = sigmoid(pre["i"])
+            gate_f = sigmoid(pre["f"])
+            gate_g = np.tanh(pre["g"])
+            gate_o = sigmoid(pre["o"])
+            c = gate_f * c_prev_c[:, lo:hi] + gate_i * gate_g
+            outputs[:, lo:hi] = gate_o * np.tanh(c)
+            outputs[:, hidden + lo : hidden + hi] = c
+            return cycles, macs
+
+        tasks = [
+            (engine, slots, lo, hi)
+            for engine, slots, (lo, hi) in zip(
+                engines, self.shard_slots, self._row_bounds
+            )
+        ]
+        results = self._run_shard_tasks(
+            run_shard, tasks, executor, self.num_shards
+        )
+        shard_cycles = [cycles for cycles, _ in results]
+        shard_macs = [macs for _, macs in results]
+        return outputs, shard_cycles, shard_macs
+
+    # -- bundle serialization hooks ------------------------------------
+
+    def manifest_entry(self) -> dict:
+        entry = {
+            "stage_kind": self.stage_kind,
+            "slots": 2 * len(_GATES),
+            "shape": [self.hidden_size, self.input_size],
+            "activation": None,
+            "input_size": self.input_size,
+            "hidden_size": self.hidden_size,
+            "shard_block_bounds": [
+                list(b)
+                for b in _shard_block_bounds(
+                    [slots[0] for slots in self.shard_slots]
+                )
+            ],
+        }
+        entry.update(_matrix_storage_entry(self.shard_slots[0][0]))
+        return entry
+
+    def image_slots(self, shard_idx: int) -> list:
+        return [
+            (matrix, None) for matrix in self.shard_slots[shard_idx]
+        ]
+
+    def aux_payload(self) -> dict | None:
+        return {
+            f"bias_{gate}": np.asarray(self.biases[gate], dtype=np.float64)
+            for gate in _GATES
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RecurrentStage(x={self.input_size} h={self.hidden_size}, "
+            f"shards={self.num_shards})"
+        )
+
+
+def build_stages(
+    specs: list,
+    num_shards: int,
+    input_hw: tuple[int, int] | None = None,
+    value_dtype: str | None = None,
+    fixed_point=None,
+) -> list[ServedStage]:
+    """Turn :func:`~repro.nn.serialization.model_stage_specs` output into
+    served stages, chaining conv spatial geometry stage to stage.
+
+    ``input_hw`` is the spatial size of the first conv stage's input
+    (required iff the model has conv stages); each conv stage's output
+    size feeds the next.  ``value_dtype``/``fixed_point`` convert every
+    stage's weight storage (quantize-at-serve; plans stay shared with the
+    training matrices).
+    """
+    from repro.nn.serialization import (
+        ConvStageSpec,
+        FCStageSpec,
+        RecurrentStageSpec,
+    )
+
+    stages: list[ServedStage] = []
+    chain_hw = tuple(int(v) for v in input_hw) if input_hw is not None else None
+    for spec in specs:
+        if isinstance(spec, FCStageSpec):
+            matrix = spec.matrix
+            if value_dtype is not None:
+                matrix = matrix.with_value_dtype(
+                    value_dtype, fixed_point=fixed_point
+                )
+            stages.append(ShardedLayer(matrix, spec.activation, num_shards))
+        elif isinstance(spec, ConvStageSpec):
+            if chain_hw is None:
+                raise ValueError(
+                    "model has conv stages: pass input_hw=(H, W), the "
+                    "spatial size of the first conv stage's input"
+                )
+            stage = LoweredConvStage(
+                spec.tensor,
+                spec.activation,
+                num_shards,
+                input_hw=chain_hw,
+                stride=spec.stride,
+                padding=spec.padding,
+                pool=spec.pool,
+                value_dtype=value_dtype,
+                fixed_point=fixed_point,
+            )
+            chain_hw = stage.output_hw
+            stages.append(stage)
+        elif isinstance(spec, RecurrentStageSpec):
+            stages.append(RecurrentStage(
+                spec.cell,
+                num_shards,
+                value_dtype=value_dtype,
+                fixed_point=fixed_point,
+            ))
+        else:
+            raise TypeError(
+                f"unknown stage spec {type(spec).__name__}"
+            )
+    return stages
 
 
 @dataclass
@@ -316,9 +1019,11 @@ class ModelServer:
     """Sharded multi-engine serving front end (submit / drain).
 
     Args:
-        layers: ``(matrix, activation)`` pairs, input to output (the same
-            shape :meth:`~repro.hw.PermDNNEngine.run_network` accepts), or
-            pre-built :class:`ShardedLayer` objects.
+        layers: the served pipeline, input to output.  Each entry is
+            either a pre-built :class:`ServedStage` (FC, lowered-conv,
+            recurrent, ...) or a raw ``(matrix, activation)`` pair (the
+            same shape :meth:`~repro.hw.PermDNNEngine.run_network`
+            accepts), which is wrapped as a :class:`ShardedLayer`.
         num_shards: engines per layer; each holds one row shard.
         config: engine configuration shared by every shard engine.
         max_batch_size: micro-batcher fill limit.
@@ -367,13 +1072,13 @@ class ModelServer:
         self.config = config or EngineConfig()
         self.zero_skip = zero_skip
         self.enforce_capacity = enforce_capacity
-        self.layers: list[ShardedLayer] = [
+        self.layers: list[ServedStage] = [
             layer
-            if isinstance(layer, ShardedLayer)
+            if isinstance(layer, ServedStage)
             else ShardedLayer(layer[0], layer[1], num_shards)
             for layer in layers
         ]
-        # Derive from the layers: a pre-built ShardedLayer carries its own
+        # Derive from the layers: a pre-built stage carries its own
         # shard count, which the ``num_shards`` argument does not override.
         self.num_shards = self.layers[0].num_shards
         if num_threads is None:
@@ -404,17 +1109,44 @@ class ModelServer:
         self._last_arrival_us = 0.0
 
     @classmethod
-    def from_model(cls, model, **kwargs) -> "ModelServer":
-        """Wrap a trained FC model (its live weights, zero copies).
+    def from_model(
+        cls,
+        model,
+        input_hw: tuple[int, int] | None = None,
+        value_dtype: str | None = None,
+        fixed_point=None,
+        num_shards: int = 4,
+        **kwargs,
+    ) -> "ModelServer":
+        """Wrap a trained model's live weights as a served pipeline.
 
-        The model is flattened through
-        :func:`repro.nn.serialization.model_engine_layers`; shard data
-        aliases the layers' parameter storage, so serving reflects
-        subsequent in-place weight updates.
+        The model is walked by
+        :func:`repro.nn.serialization.model_stage_specs` -- PD FC stacks,
+        PD conv + pool chains, and PD LSTM cells all map to served
+        stages; anything else raises
+        :class:`~repro.nn.serialization.UnsupportedLayerError`.  FC and
+        recurrent shard data aliases the layers' parameter storage, so
+        serving reflects subsequent in-place weight updates (conv stages
+        repack the trainable dense kernel tensor at construction).
+
+        Args:
+            model: the :class:`~repro.nn.module.Module` to serve.
+            input_hw: spatial ``(H, W)`` of the first conv stage's input
+                (required iff the model has conv layers).
+            value_dtype / fixed_point: serve-time weight storage
+                conversion (quantize-at-serve; index plans stay shared).
+            num_shards / kwargs: forwarded to the constructor.
         """
-        from repro.nn.serialization import model_engine_layers
+        from repro.nn.serialization import model_stage_specs
 
-        return cls(model_engine_layers(model), **kwargs)
+        stages = build_stages(
+            model_stage_specs(model),
+            num_shards,
+            input_hw=input_hw,
+            value_dtype=value_dtype,
+            fixed_point=fixed_point,
+        )
+        return cls(stages, num_shards=num_shards, **kwargs)
 
     @classmethod
     def from_bundle(
@@ -427,19 +1159,16 @@ class ModelServer:
 
         Every shard matrix arrives with its serialized index plan
         (:mod:`repro.serve.bundle`), so cold-starting a many-layer sharded
-        server performs **no** index arithmetic.  Keyword arguments are
-        forwarded to the constructor (batching, config, ...).
+        server performs **no** index arithmetic -- for FC, lowered-conv,
+        and recurrent stages alike.  Keyword arguments are forwarded to
+        the constructor (batching, config, ...).
         """
-        from repro.serve.bundle import load_sharded_bundle
+        from repro.serve.bundle import load_staged_bundle
 
-        layers, _ = load_sharded_bundle(
+        stages, _ = load_staged_bundle(
             directory, missing_backend=missing_backend
         )
-        sharded = [
-            ShardedLayer.from_shards(shards, activation)
-            for shards, activation in layers
-        ]
-        return cls(sharded, **kwargs)
+        return cls(stages, **kwargs)
 
     # ------------------------------------------------------------------
 

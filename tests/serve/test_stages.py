@@ -1,0 +1,408 @@
+"""Generalized served stages: conv and recurrent pipelines.
+
+The serving contract extends beyond FC: every stage kind must satisfy
+sharded === unsharded and threaded === sequential **bit for bit**, at
+every value-storage mode, and cold-start from a v3 bundle with zero plan
+builds.  (This directory runs under the strict no-*re*build teardown;
+conv stage construction may *build* fresh plans -- ``to_tensor()``
+repacks the trainable kernel -- but nothing may ever rebuild one.)
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.core.block_perm_diag as mod
+from repro.nn import (
+    Flatten,
+    MaxPool2D,
+    PermDiagConv2D,
+    PermDiagLinear,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.layers.recurrent import LSTM, LSTMCell
+from repro.nn.serialization import (
+    ConvStageSpec,
+    FCStageSpec,
+    RecurrentStageSpec,
+    UnsupportedLayerError,
+    model_stage_specs,
+)
+from repro.serve import (
+    LoweredConvStage,
+    ModelServer,
+    RecurrentStage,
+    ServedStage,
+    ShardedLayer,
+    export_model_bundle,
+    load_sharded_bundle,
+    load_staged_bundle,
+)
+
+
+def _conv_model(seed=0):
+    """A LeNet-shaped fully-PD pipeline: conv + pool + FC tail."""
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        PermDiagConv2D(4, 8, 3, p=2, bias=False, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        PermDiagLinear(8 * 4 * 4, 12, p=2, bias=False, rng=rng),
+        Tanh(),
+    )
+    model.eval()
+    return model, (8, 8)
+
+
+def _requests(num, n, seed=1):
+    return np.random.default_rng(seed).normal(size=(num, n))
+
+
+def _drain(server, xs):
+    server.submit_many(xs)
+    return np.stack(server.drain().outputs)
+
+
+def _served(model, input_hw=None, **kwargs):
+    kwargs.setdefault("max_batch_size", 4)
+    return ModelServer.from_model(model, input_hw=input_hw, **kwargs)
+
+
+class TestServedConvPipeline:
+    def test_matches_model_forward(self):
+        model, (h, w) = _conv_model()
+        xs = _requests(5, 4 * h * w)
+        served = _drain(_served(model, (h, w), num_shards=2), xs)
+        expected = model.forward(xs.reshape(5, 4, h, w))
+        np.testing.assert_allclose(served, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    @pytest.mark.parametrize("num_threads", [1, 2])
+    def test_sharded_threaded_bit_identical(self, num_shards, num_threads):
+        model, (h, w) = _conv_model()
+        xs = _requests(6, 4 * h * w)
+        reference = _drain(
+            _served(model, (h, w), num_shards=1, num_threads=1), xs
+        )
+        contender = _drain(
+            _served(
+                model, (h, w),
+                num_shards=num_shards, num_threads=num_threads,
+            ),
+            xs,
+        )
+        np.testing.assert_array_equal(contender, reference)
+
+    @pytest.mark.parametrize("value_dtype", ["float32", "int16"])
+    def test_value_dtypes_bit_identical(self, value_dtype):
+        model, (h, w) = _conv_model()
+        xs = _requests(4, 4 * h * w)
+        reference = _drain(
+            _served(
+                model, (h, w),
+                num_shards=1, num_threads=1, value_dtype=value_dtype,
+            ),
+            xs,
+        )
+        sharded = _drain(
+            _served(
+                model, (h, w),
+                num_shards=2, num_threads=2, value_dtype=value_dtype,
+            ),
+            xs,
+        )
+        np.testing.assert_array_equal(sharded, reference)
+
+    def test_strided_backbone_bit_identical(self):
+        """Stride-2 downsampling chains geometry across conv stages."""
+        from repro.serve import build_workload
+
+        spec = build_workload("resnet20", rng=0)
+        xs = _requests(4, spec.in_features)
+        reference = _drain(
+            spec.make_server(num_shards=1, max_batch_size=4), xs
+        )
+        sharded = _drain(
+            spec.make_server(num_shards=4, num_threads=2, max_batch_size=4),
+            xs,
+        )
+        np.testing.assert_array_equal(sharded, reference)
+
+    def test_conv_model_requires_input_hw(self):
+        model, _ = _conv_model()
+        with pytest.raises(ValueError, match="input_hw"):
+            ModelServer.from_model(model, num_shards=2)
+
+    def test_pool_must_tile_the_output(self):
+        model, _ = _conv_model()
+        tensor = model.layers[0].to_tensor()
+        with pytest.raises(ValueError, match="pool"):
+            LoweredConvStage(
+                tensor, "relu", 2, input_hw=(8, 8), padding=1, pool=3
+            )
+
+
+class TestServedRecurrentStage:
+    def test_single_step_matches_cell_bitwise(self):
+        cell = LSTMCell(6, 16, p=2, rng=0)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 6))
+        h_prev = rng.normal(size=(5, 16))
+        c_prev = rng.normal(size=(5, 16))
+        h, c, _ = cell.step(x, h_prev, c_prev)
+        server = _served(cell, num_shards=2, max_batch_size=8)
+        out = _drain(server, np.concatenate([x, h_prev, c_prev], axis=1))
+        np.testing.assert_array_equal(out[:, :16], h)
+        np.testing.assert_array_equal(out[:, 16:], c)
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    @pytest.mark.parametrize("num_threads", [1, 2])
+    def test_sharded_threaded_bit_identical(self, num_shards, num_threads):
+        cell = LSTMCell(8, 16, p=4, rng=2)
+        xs = _requests(6, 8 + 32, seed=3)
+        reference = _drain(
+            _served(cell, num_shards=1, num_threads=1, max_batch_size=8), xs
+        )
+        contender = _drain(
+            _served(
+                cell,
+                num_shards=num_shards,
+                num_threads=num_threads,
+                max_batch_size=8,
+            ),
+            xs,
+        )
+        np.testing.assert_array_equal(contender, reference)
+
+    @pytest.mark.parametrize("value_dtype", ["float32", "int16"])
+    def test_value_dtypes_bit_identical(self, value_dtype):
+        cell = LSTMCell(8, 16, p=4, rng=2)
+        xs = _requests(4, 8 + 32, seed=3)
+        reference = _drain(
+            _served(
+                cell, num_shards=1, num_threads=1,
+                value_dtype=value_dtype, max_batch_size=8,
+            ),
+            xs,
+        )
+        sharded = _drain(
+            _served(
+                cell, num_shards=2, num_threads=2,
+                value_dtype=value_dtype, max_batch_size=8,
+            ),
+            xs,
+        )
+        np.testing.assert_array_equal(sharded, reference)
+
+    def test_sequence_matches_lstm_forward_bitwise(self):
+        """Feeding each step's ``[h | c]`` back reproduces the full
+        sequence the training-side LSTM computes, bit for bit."""
+        lstm = LSTM(6, 12, p=2, rng=4)
+        batch, steps = 3, 5
+        seq = np.random.default_rng(5).normal(size=(batch, steps, 6))
+        expected = lstm.forward(seq)
+        server = _served(lstm, num_shards=2, num_threads=2, max_batch_size=4)
+        state = np.zeros((batch, 24))
+        for t in range(steps):
+            out = _drain(
+                server, np.concatenate([seq[:, t], state], axis=1)
+            )
+            np.testing.assert_array_equal(out[:, :12], expected[:, t])
+            state = out
+        np.testing.assert_array_equal(state[:, :12], lstm.final_state[0])
+        np.testing.assert_array_equal(state[:, 12:], lstm.final_state[1])
+
+    def test_encoder_decoder_step_bit_identical(self):
+        """The NMT shape: the encoder's final state seeds the decoder."""
+        encoder = LSTMCell(6, 16, p=2, rng=6)
+        decoder = LSTMCell(4, 16, p=2, rng=7)
+        rng = np.random.default_rng(8)
+        src = rng.normal(size=(3, 2, 6))
+        tgt = rng.normal(size=(3, 4))
+
+        h = c = np.zeros((3, 16))
+        for t in range(src.shape[1]):
+            h, c, _ = encoder.step(src[:, t], h, c)
+        dec_h, dec_c, _ = decoder.step(tgt, h, c)
+
+        enc_server = _served(
+            encoder, num_shards=2, num_threads=2, max_batch_size=4
+        )
+        dec_server = _served(
+            decoder, num_shards=2, num_threads=2, max_batch_size=4
+        )
+        state = np.zeros((3, 32))
+        for t in range(src.shape[1]):
+            state = _drain(
+                enc_server, np.concatenate([src[:, t], state], axis=1)
+            )
+        out = _drain(dec_server, np.concatenate([tgt, state], axis=1))
+        np.testing.assert_array_equal(out[:, :16], dec_h)
+        np.testing.assert_array_equal(out[:, 16:], dec_c)
+
+    def test_dense_cell_rejected(self):
+        with pytest.raises(UnsupportedLayerError, match="dense weight ops"):
+            model_stage_specs(LSTMCell(6, 16, rng=0))
+
+    def test_weight_aliasing_survives_serving(self):
+        """Gate matrices alias the cell's parameters: in-place training
+        updates reach the shard engines with no re-export."""
+        cell = LSTMCell(6, 16, p=2, rng=9)
+        server = _served(cell, num_shards=2, max_batch_size=8)
+        xs = _requests(2, 6 + 32, seed=10)
+        before = _drain(server, xs)
+        for op in cell.weight_matrices:
+            op.weight.value *= 1.5
+        after = _drain(server, xs)
+        assert not np.array_equal(before, after)
+
+
+class TestModelStageSpecs:
+    def test_conv_pipeline_spec_kinds(self):
+        model, _ = _conv_model()
+        specs = model_stage_specs(model)
+        assert [type(s) for s in specs] == [ConvStageSpec, FCStageSpec]
+        assert specs[0].activation == "relu" and specs[0].pool == 2
+        assert specs[1].activation == "tanh"
+
+    def test_lstm_consumed_as_one_stage(self):
+        specs = model_stage_specs(LSTM(6, 12, p=2, rng=0))
+        assert [type(s) for s in specs] == [RecurrentStageSpec]
+
+    def test_orphan_pool_rejected(self):
+        model = Sequential(
+            PermDiagLinear(16, 8, p=2, bias=False, rng=0), MaxPool2D(2)
+        )
+        with pytest.raises(UnsupportedLayerError, match="conv stage"):
+            model_stage_specs(model)
+
+    def test_overlapping_pool_rejected(self):
+        model = Sequential(
+            PermDiagConv2D(4, 8, 3, p=2, bias=False, padding=1, rng=0),
+            MaxPool2D(4, stride=2),
+        )
+        with pytest.raises(UnsupportedLayerError, match="non-overlapping"):
+            model_stage_specs(model)
+
+    def test_conv_bias_rejected(self):
+        model = Sequential(
+            PermDiagConv2D(4, 8, 3, p=2, bias=True, rng=0)
+        )
+        model.layers[0].bias.value[:] = 1.0
+        with pytest.raises(UnsupportedLayerError, match="bias"):
+            model_stage_specs(model)
+
+
+class TestStagedBundles:
+    def test_conv_bundle_cold_start_zero_plan_builds(self, tmp_path):
+        from repro.debug import sanitize
+
+        model, (h, w) = _conv_model()
+        xs = _requests(4, 4 * h * w)
+        reference = _drain(_served(model, (h, w), num_shards=2), xs)
+        export_model_bundle(tmp_path, model, num_shards=2, input_hw=(h, w))
+        with sanitize() as s:
+            server = ModelServer.from_bundle(tmp_path, max_batch_size=4)
+            out = _drain(server, xs)
+            assert s.stats.plan_builds == 0
+            assert s.stats.plan_rebuilds == 0
+        np.testing.assert_array_equal(out, reference)
+
+    def test_recurrent_bundle_cold_start_zero_plan_builds(self, tmp_path):
+        from repro.debug import sanitize
+
+        cell = LSTMCell(6, 16, p=2, rng=0)
+        xs = _requests(4, 6 + 32)
+        reference = _drain(_served(cell, num_shards=2, max_batch_size=8), xs)
+        export_model_bundle(tmp_path, cell, num_shards=2)
+        with sanitize() as s:
+            server = ModelServer.from_bundle(tmp_path, max_batch_size=8)
+            out = _drain(server, xs)
+            assert s.stats.plan_builds == 0
+            assert s.stats.plan_rebuilds == 0
+        np.testing.assert_array_equal(out, reference)
+
+    def test_v2_manifest_still_loads_as_fc(self, tmp_path):
+        """Pre-v3 bundles carry no stage tags; they must keep loading as
+        single-slot FC stages with the cold-start property intact."""
+        model = Sequential(
+            PermDiagLinear(24, 16, p=2, bias=False, rng=0), ReLU(),
+            PermDiagLinear(16, 8, p=2, bias=False, rng=1),
+        )
+        model.eval()
+        export_model_bundle(tmp_path, model, num_shards=2)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["bundle_version"] = 2
+        for entry in manifest["layers"]:
+            del entry["stage_kind"]
+            del entry["slots"]
+        manifest_path.write_text(json.dumps(manifest))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("v2 bundle load rebuilt an index plan")
+
+        orig = mod._IndexPlan.__init__
+        mod._IndexPlan.__init__ = boom
+        try:
+            stages, loaded = load_staged_bundle(tmp_path)
+            layers, _ = load_sharded_bundle(tmp_path)
+        finally:
+            mod._IndexPlan.__init__ = orig
+        assert all(isinstance(stage, ShardedLayer) for stage in stages)
+        assert int(loaded["bundle_version"]) == 2
+        assert [act for _, act in layers] == ["relu", None]
+        xs = _requests(3, 24)
+        served = _drain(ModelServer(stages, max_batch_size=4), xs)
+        np.testing.assert_allclose(served, model.forward(xs), atol=1e-10)
+
+    def test_fc_only_loader_rejects_staged_bundles(self, tmp_path):
+        model, (h, w) = _conv_model()
+        export_model_bundle(tmp_path, model, num_shards=2, input_hw=(h, w))
+        with pytest.raises(ValueError, match="load_staged_bundle"):
+            load_sharded_bundle(tmp_path)
+
+    def test_unknown_stage_kind_rejected(self, tmp_path):
+        model, (h, w) = _conv_model()
+        export_model_bundle(tmp_path, model, num_shards=2, input_hw=(h, w))
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["layers"][0]["stage_kind"] = "attention"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="stage_kind"):
+            load_staged_bundle(tmp_path)
+
+    def test_reduced_precision_bundle_round_trip(self, tmp_path):
+        model, (h, w) = _conv_model()
+        xs = _requests(3, 4 * h * w)
+        reference = _drain(
+            _served(model, (h, w), num_shards=2, value_dtype="float32"), xs
+        )
+        export_model_bundle(
+            tmp_path, model, num_shards=2, input_hw=(h, w),
+            value_dtype="float32",
+        )
+        server = ModelServer.from_bundle(tmp_path, max_batch_size=4)
+        np.testing.assert_array_equal(_drain(server, xs), reference)
+
+
+class TestStageProtocol:
+    def test_every_stage_kind_is_a_served_stage(self):
+        model, (h, w) = _conv_model()
+        server = _served(model, (h, w), num_shards=2)
+        assert all(isinstance(layer, ServedStage) for layer in server.layers)
+        assert [layer.stage_kind for layer in server.layers] == [
+            "conv", "fc",
+        ]
+        cell_server = _served(LSTMCell(6, 16, p=2, rng=0), num_shards=2)
+        assert cell_server.layers[0].stage_kind == "recurrent"
+
+    def test_unsupported_model_raises_typed_error(self):
+        from repro.nn import Linear
+
+        with pytest.raises(UnsupportedLayerError, match="not servable"):
+            ModelServer.from_model(Sequential(Linear(8, 4, rng=0)))

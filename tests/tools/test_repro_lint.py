@@ -98,6 +98,34 @@ class TestRPR002BackendBypass:
         """
         assert lint(src, "src/repro/nn/layers/dense.py") == []
 
+    def test_serve_flags_every_matmul(self):
+        # Strict form: in serve/, name heuristics are off -- `a @ b` on
+        # innocuously-named operands is still a bypass.
+        src = """
+            def f(a, b):
+                return a @ b
+        """
+        findings = lint(src, "src/repro/serve/server.py")
+        assert codes(findings) == ["RPR002"]
+        assert "serve/" in findings[0].message
+        # ... while the same product outside serve/ needs a matrix hint.
+        assert lint(src, "src/repro/nn/layers/dense.py") == []
+
+    def test_serve_flags_matmul_shaped_reductions(self):
+        src = """
+            import numpy as np
+            def f(w, x):
+                a = np.einsum("ij,bj->bi", w, x)
+                b = np.tensordot(w, x, axes=1)
+                c = np.inner(w, x)
+                return a, b, c
+        """
+        assert codes(lint(src, "src/repro/serve/stage.py")) == [
+            "RPR002", "RPR002", "RPR002",
+        ]
+        # The reductions stay legal outside the strict prefix.
+        assert lint(src, "src/repro/nn/functional.py") == []
+
 
 class TestRPR003CsrIndexDtype:
     def test_untyped_construction_flagged(self):

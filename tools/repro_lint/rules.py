@@ -141,19 +141,32 @@ class BackendBypassRule(Rule):
     name = "backend-bypass"
     invariant = (
         "nn/, hw/ and serve/ never multiply structured-matrix state with "
-        "raw `@`, `np.dot`/`np.matmul`, or `scipy.sparse` products"
+        "raw `@`, `np.dot`/`np.matmul`, or `scipy.sparse` products; "
+        "serve/ additionally bans *every* raw `@` and the matmul-shaped "
+        "numpy reductions (`einsum`/`tensordot`/`inner`/`vdot`)"
     )
     rationale = (
         "every PD product must dispatch through `repro.core.backends` so "
         "backend selection, int32 CSR skeletons and the plan cache apply "
-        "uniformly; raw products silently fork the execution path"
+        "uniformly; raw products silently fork the execution path.  Served "
+        "stages are held to the strict form: everything a stage multiplies "
+        "is shard state by construction, so name heuristics would only "
+        "hide bypasses"
     )
     scope = ("src/repro/nn/", "src/repro/hw/", "src/repro/serve/")
     # The baseline simulators (EIE, CirCNN) model *other accelerators'*
     # storage formats -- bypassing the PD registry is their entire point.
     exempt = ("src/repro/hw/baselines/",)
 
+    # Under these prefixes, every `@` product and matmul-shaped numpy
+    # reduction is a finding -- no matrix-likeness heuristic.
+    _STRICT_PREFIXES = ("src/repro/serve/",)
+    _STRICT_NP_REDUCTIONS = ("einsum", "tensordot", "inner", "vdot")
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        strict = any(
+            ctx.rel.startswith(prefix) for prefix in self._STRICT_PREFIXES
+        )
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -176,10 +189,24 @@ class BackendBypassRule(Rule):
                     "raw np.dot/np.matmul -- structured products must "
                     "dispatch through the kernel backend registry",
                 )
+            elif strict and _is_np_call(node, *self._STRICT_NP_REDUCTIONS):
+                yield self.finding(
+                    ctx, node,
+                    "matmul-shaped numpy reduction in serve/ -- served "
+                    "stages drive the engine (backend-dispatched), never "
+                    "multiply on the host",
+                )
             elif isinstance(node, ast.BinOp) and isinstance(
                 node.op, ast.MatMult
             ):
-                if _matrix_like(node.left) or _matrix_like(node.right):
+                if strict:
+                    yield self.finding(
+                        ctx, node,
+                        "raw `@` product in serve/ -- served stages drive "
+                        "the engine (backend-dispatched), never multiply "
+                        "on the host",
+                    )
+                elif _matrix_like(node.left) or _matrix_like(node.right):
                     yield self.finding(
                         ctx, node,
                         "raw `@` product on structured-matrix state -- use "
