@@ -11,6 +11,8 @@ Usage (module form):
     python -m repro.cli serve-bench --arrivals poisson [--slo-us 150] [--load 0.8]
     python -m repro.cli serve-bench --workload lenet|resnet20|nmt|all
     python -m repro.cli serve-bench --mixed [--arrivals bursty] [--load 0.8]
+    python -m repro.cli compress     --entry lenet --out runs/compress
+    python -m repro.cli compress-zoo --out runs/compress_zoo [--entry nmt]
 
 The kernel backend used for the numerical products can also be selected
 process-wide with the ``REPRO_BACKEND`` environment variable
@@ -232,6 +234,59 @@ def _cmd_serve_bench_open_loop(args) -> int:
     return 1 if failures else 0
 
 
+def _compress_overrides(args) -> dict:
+    """Recipe overrides shared by ``compress`` and ``compress-zoo``.
+
+    Only explicitly given flags are forwarded so every other knob keeps
+    the entry's own recipe value.
+    """
+    overrides = {}
+    if args.strategy is not None:
+        overrides["strategy"] = args.strategy
+    if args.dtype is not None:
+        overrides["value_dtype"] = args.dtype
+    if args.shards is not None:
+        overrides["num_shards"] = args.shards
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return overrides
+
+
+def _cmd_compress(args) -> int:
+    import os
+
+    from repro.compress import run_zoo_entry, zoo_entry
+
+    overrides = _compress_overrides(args)
+    if args.epochs is not None:
+        overrides["finetune_epochs"] = args.epochs
+    entry = zoo_entry(args.entry, **overrides)
+    entry_dir = (
+        os.path.join(args.out, entry.name) if args.out is not None else None
+    )
+    result = run_zoo_entry(entry, entry_dir)
+    print(result.report.summary())
+    if entry_dir is not None:
+        print(f"report             : {os.path.join(entry_dir, 'report.json')}")
+        print(f"bundle             : {os.path.join(entry_dir, 'bundle')}")
+    return 0
+
+
+def _cmd_compress_zoo(args) -> int:
+    from repro.compress import format_zoo_results, run_zoo
+
+    results = run_zoo(
+        args.out,
+        entries=tuple(args.entry) if args.entry else None,
+        resume=not args.no_resume,
+        progress=print,
+        **_compress_overrides(args),
+    )
+    print()
+    print(format_zoo_results(results))
+    return 0 if all(r.report.verified for r in results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PermDNN reproduction experiments"
@@ -310,6 +365,50 @@ def build_parser() -> argparse.ArgumentParser:
                      help="p99 SLO for knee finding in microseconds "
                           "(default: 2x the unloaded p99)")
     srv.set_defaults(func=_cmd_serve_bench)
+
+    def _add_compress_flags(p):
+        p.add_argument("--strategy", default=None,
+                       help="permutation-search strategy override "
+                            "(greedy/anneal; default: the entry's recipe)")
+        p.add_argument("--dtype", default=None,
+                       choices=("float64", "float32", "int16"),
+                       help="bundle value-storage override "
+                            "(default: the entry's recipe)")
+        p.add_argument("--shards", type=int, default=None,
+                       help="bundle shard-count override")
+        p.add_argument("--seed", type=int, default=None,
+                       help="recipe seed override")
+
+    cps = sub.add_parser(
+        "compress",
+        help="compress one zoo entry into a staged serving bundle",
+    )
+    cps.add_argument("--entry", default="lenet-smoke",
+                     help="zoo entry name (see compress-zoo; default "
+                          "lenet-smoke)")
+    cps.add_argument("--out", default=None,
+                     help="output root; writes <out>/<entry>/bundle/ and "
+                          "<out>/<entry>/report.json (default: in-memory "
+                          "run, no export)")
+    cps.add_argument("--epochs", type=int, default=None,
+                     help="fine-tune epoch override")
+    _add_compress_flags(cps)
+    cps.set_defaults(func=_cmd_compress)
+
+    czo = sub.add_parser(
+        "compress-zoo",
+        help="batch-compress the model zoo (resume + index.json)",
+    )
+    czo.add_argument("--out", required=True,
+                     help="output root for bundles, reports, and index.json")
+    czo.add_argument("--entry", action="append", default=None,
+                     help="entry to run (repeatable; default: every "
+                          "registered entry except the CI smoke entry)")
+    czo.add_argument("--no-resume", action="store_true",
+                     help="re-run entries even when their report and "
+                          "bundle already exist")
+    _add_compress_flags(czo)
+    czo.set_defaults(func=_cmd_compress_zoo)
     return parser
 
 
@@ -320,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
     command implementations raise typed exceptions so they stay usable as
     library functions.
     """
+    from repro.compress import UnknownStrategyError, ZooEntryError
     from repro.core import BackendUnavailableError, UnknownBackendError
     from repro.hw import UnknownWorkloadError
     from repro.serve import UnknownArrivalProcessError
@@ -333,6 +433,8 @@ def main(argv: list[str] | None = None) -> int:
         UnknownBackendError,
         BackendUnavailableError,
         UnknownArrivalProcessError,
+        UnknownStrategyError,
+        ZooEntryError,
     ) as exc:
         # Only user-input errors become clean exits; genuine library bugs
         # (arbitrary ValueError and friends) keep their tracebacks.

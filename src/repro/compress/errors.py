@@ -1,0 +1,45 @@
+"""Typed errors for the offline compression factory.
+
+Mirrors the repo's established error idiom (compare
+:class:`repro.hw.UnknownWorkloadError`,
+:class:`repro.nn.serialization.UnsupportedLayerError`): command and
+library code raise these, and only :func:`repro.cli.main` converts
+user-input errors into ``SystemExit``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CompressionError", "UnknownStrategyError", "ZooEntryError"]
+
+
+class CompressionError(Exception):
+    """Base class for compression-factory failures.
+
+    Raised directly when the pipeline meets something it cannot turn
+    into a servable PD model (an unconvertible layer kind, a bundle
+    that fails post-export verification); the registry-lookup subclasses
+    below cover bad user input.
+    """
+
+
+class UnknownStrategyError(CompressionError, LookupError):
+    """A structure-search strategy name not present in the registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown compression strategy {name!r} "
+            f"(expected one of {self.known})"
+        )
+
+
+class ZooEntryError(CompressionError, LookupError):
+    """A model-zoo entry name not present in the factory manifest."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown zoo entry {name!r} (expected one of {self.known})"
+        )

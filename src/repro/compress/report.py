@@ -1,0 +1,156 @@
+"""Structured accuracy/compression reports emitted by the factory.
+
+One :class:`CompressionReport` per compressed model: the quality metric
+before projection / after projection / after fine-tuning, the storage
+accounting (via :mod:`repro.metrics.compression` on the converted model),
+the chosen ``p`` and retained Frobenius mass per layer, the value dtype
+the bundle was exported at, and wall-time per pipeline phase.  Reports
+round-trip through JSON (``save`` / ``load``) so the zoo index and CI
+artifacts are plain files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["CompressionReport", "LayerReport", "PhaseTimings"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class LayerReport:
+    """Per-layer record: what the search chose and what it cost.
+
+    Attributes:
+        name: layer description (repr-style).
+        kind: ``"fc"`` / ``"conv"`` / ``"lstm-gate"``.
+        dense_shape: shape of the dense weight the layer replaced.
+        p: block size actually used (after any clamp).
+        dense_weights / stored_weights: element counts.
+        retained_mass: fraction of the dense Frobenius energy kept by the
+            projection (1.0 for ``p == 1`` pass-through layers).
+        note: human-readable annotations ("p clamped to 1 ...",
+            "bias dropped", ...).
+    """
+
+    name: str
+    kind: str
+    dense_shape: list[int]
+    p: int
+    dense_weights: int
+    stored_weights: int
+    retained_mass: float
+    note: str = ""
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.dense_weights / max(self.stored_weights, 1)
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per factory phase."""
+
+    search_s: float = 0.0
+    finetune_s: float = 0.0
+    export_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.search_s + self.finetune_s + self.export_s
+
+
+@dataclass
+class CompressionReport:
+    """Everything one pipeline run produced, JSON-serializable.
+
+    ``metric_name`` is ``"top1_accuracy"`` for classifiers and
+    ``"state_fidelity"`` (1 - relative L2 error of ``[h | c]`` vs the
+    dense cell on a seeded batch) for recurrent cells; ``dense_metric``
+    is the pre-compression baseline the delta is stated against.
+    """
+
+    model: str
+    strategy: str
+    value_dtype: str
+    metric_name: str
+    dense_metric: float
+    projected_metric: float
+    finetuned_metric: float
+    dense_weights: int
+    stored_weights: int
+    compression_ratio: float
+    finetune_epochs: int
+    num_shards: int
+    seed: int
+    verified: bool = False
+    layers: list[LayerReport] = field(default_factory=list)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def metric_delta(self) -> float:
+        """Quality change vs the dense baseline (negative = degradation)."""
+        return self.finetuned_metric - self.dense_metric
+
+    # -- JSON round-trip ----------------------------------------------
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["metric_delta"] = self.metric_delta
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompressionReport":
+        payload = dict(payload)
+        payload.pop("metric_delta", None)
+        payload["layers"] = [
+            LayerReport(**layer) for layer in payload.get("layers", ())
+        ]
+        payload["timings"] = PhaseTimings(**payload.get("timings", {}))
+        return cls(**payload)
+
+    def save(self, path: str) -> None:
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CompressionReport":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- presentation --------------------------------------------------
+
+    def summary(self) -> str:
+        """Fixed-width report for terminals and bench artifacts."""
+        lines = [
+            f"model              : {self.model}",
+            f"strategy           : {self.strategy}",
+            f"value dtype        : {self.value_dtype}",
+            f"{self.metric_name:<19}: dense {self.dense_metric:.4f} -> "
+            f"projected {self.projected_metric:.4f} -> "
+            f"fine-tuned {self.finetuned_metric:.4f} "
+            f"(delta {self.metric_delta:+.4f})",
+            f"dense weights      : {self.dense_weights:,}",
+            f"stored weights     : {self.stored_weights:,}",
+            f"compression        : {self.compression_ratio:.2f}x",
+            f"bundle             : {self.num_shards} shard(s), "
+            f"verified={self.verified}",
+            f"wall time          : search {self.timings.search_s:.2f}s, "
+            f"fine-tune {self.timings.finetune_s:.2f}s, "
+            f"export {self.timings.export_s:.2f}s",
+            "layers:",
+        ]
+        for layer in self.layers:
+            lines.append(
+                f"  {layer.kind:<9} p={layer.p:<3d} "
+                f"{layer.compression_ratio:6.2f}x  "
+                f"mass={layer.retained_mass:.3f}  {layer.name}"
+                + (f"  [{layer.note}]" if layer.note else "")
+            )
+        return "\n".join(lines)

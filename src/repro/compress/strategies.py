@@ -1,0 +1,186 @@
+"""Permutation-structure search strategies behind ``strategy=``.
+
+Two registered strategies:
+
+- ``"greedy"`` -- per-block argmax of retained Frobenius mass
+  (:func:`repro.core.best_permutation_parameters`).  For a *fixed* block
+  tiling this is already the global L2 optimum over the shifts, so the
+  greedy name refers to treating every layer independently, not to a
+  suboptimal per-block choice.
+- ``"anneal"`` -- greedy shift selection plus an MPDCompress-style
+  refinement over a degree of freedom the per-layer projection cannot
+  see: *function-preserving hidden-unit permutations* at FC->FC
+  interfaces.  Permuting the rows of ``W_l`` together with the columns
+  of ``W_{l+1}`` (and ``W_l``'s bias) across an elementwise activation
+  leaves the network function unchanged while reshuffling which entries
+  fall on permuted diagonals; a seeded simulated-annealing walk over
+  pairwise swaps keeps permutations that raise the total retained mass.
+  On models with no FC->FC interface it degenerates to greedy exactly.
+
+New strategies register with :func:`register_strategy`;
+:func:`get_strategy` resolves names and raises a typed
+:class:`~repro.compress.errors.UnknownStrategyError` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compress.errors import UnknownStrategyError
+from repro.core import best_permutation_parameters, diagonal_energies
+
+__all__ = [
+    "AnnealStrategy",
+    "CompressionStrategy",
+    "FCInterface",
+    "GreedyStrategy",
+    "get_strategy",
+    "register_strategy",
+    "retained_mass",
+    "strategy_names",
+]
+
+
+def retained_mass(dense: np.ndarray, p: int) -> float:
+    """Frobenius energy captured by the best per-block shifts of ``dense``."""
+    return float(diagonal_energies(dense, p).max(axis=-1).sum())
+
+
+@dataclass
+class FCInterface:
+    """One hidden-unit boundary between two consecutive FC weight matrices.
+
+    ``upper`` is ``W_l`` (its *rows* are the hidden units), ``lower`` is
+    ``W_{l+1}`` (its *columns* are the same hidden units).  The arrays are
+    the pipeline's working copies: :meth:`apply` permutes them in place,
+    which is function-preserving because only elementwise maps sit between
+    the two layers.
+    """
+
+    upper: np.ndarray
+    lower: np.ndarray
+    p_upper: int
+    p_lower: int
+    upper_bias: np.ndarray | None = None
+
+    def mass(self, perm: np.ndarray) -> float:
+        """Total retained mass of both matrices under hidden permutation."""
+        return retained_mass(self.upper[perm], self.p_upper) + retained_mass(
+            self.lower[:, perm], self.p_lower
+        )
+
+    def apply(self, perm: np.ndarray) -> None:
+        """Permute the hidden units in place (rows of upper, cols of lower)."""
+        self.upper[...] = self.upper[perm]
+        self.lower[...] = self.lower[:, perm]
+        if self.upper_bias is not None:
+            self.upper_bias[...] = self.upper_bias[perm]
+
+
+class CompressionStrategy:
+    """Base strategy: optimal per-block shifts, no cross-layer refinement."""
+
+    name = "base"
+
+    def select_ks(
+        self, dense: np.ndarray, p: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-block permutation parameters for one dense 2-D plane."""
+        return best_permutation_parameters(dense, p)
+
+    def refine(
+        self, interfaces: list[FCInterface], rng: np.random.Generator
+    ) -> None:
+        """Hook: mutate interface weights function-preservingly (no-op)."""
+
+
+_REGISTRY: dict[str, type[CompressionStrategy]] = {}
+
+
+def register_strategy(cls: type[CompressionStrategy]) -> type[CompressionStrategy]:
+    """Class decorator adding a strategy to the ``strategy=`` registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_strategy(strategy: str | CompressionStrategy) -> CompressionStrategy:
+    """Resolve a name (or pass through an instance) to a strategy object."""
+    if isinstance(strategy, CompressionStrategy):
+        return strategy
+    try:
+        return _REGISTRY[strategy]()
+    except KeyError:
+        raise UnknownStrategyError(strategy, strategy_names()) from None
+
+
+@register_strategy
+class GreedyStrategy(CompressionStrategy):
+    """Independent per-layer projection at the L2-optimal shifts."""
+
+    name = "greedy"
+
+
+@register_strategy
+@dataclass
+class AnnealStrategy(CompressionStrategy):
+    """Greedy shifts + annealed hidden-unit permutations at FC interfaces.
+
+    Attributes:
+        steps: pairwise-swap proposals per interface.
+        start_frac / end_frac: temperature schedule as fractions of the
+            interface's total Frobenius energy (geometric decay).
+    """
+
+    steps: int = 400
+    start_frac: float = 0.02
+    end_frac: float = 1e-4
+    # Plain (unannotated) class attribute: not a dataclass field.
+    name = "anneal"
+
+    def refine(
+        self, interfaces: list[FCInterface], rng: np.random.Generator
+    ) -> None:
+        for iface in interfaces:
+            self._refine_interface(iface, rng)
+
+    def _refine_interface(
+        self, iface: FCInterface, rng: np.random.Generator
+    ) -> None:
+        hidden = iface.upper.shape[0]
+        if hidden < 2 or self.steps < 1:
+            return
+        total_energy = float((iface.upper**2).sum() + (iface.lower**2).sum())
+        if total_energy == 0.0:
+            return
+        perm = np.arange(hidden)
+        current = iface.mass(perm)
+        baseline = current
+        best_perm, best = perm.copy(), current
+        decay = (self.end_frac / self.start_frac) ** (1.0 / self.steps)
+        temperature = self.start_frac * total_energy
+        for _ in range(self.steps):
+            a, b = rng.integers(0, hidden, size=2)
+            if a == b:
+                temperature *= decay
+                continue
+            perm[a], perm[b] = perm[b], perm[a]
+            candidate = iface.mass(perm)
+            delta = candidate - current
+            if delta >= 0 or rng.random() < np.exp(delta / temperature):
+                current = candidate
+                if current > best:
+                    best, best_perm = current, perm.copy()
+            else:
+                perm[a], perm[b] = perm[b], perm[a]  # reject: undo the swap
+            temperature *= decay
+        # Only commit strict improvements so "anneal" can never do worse
+        # than greedy on the same weights.
+        if best > baseline:
+            iface.apply(best_perm)

@@ -57,6 +57,7 @@ from repro.core.approximation import (
     approximate_pd,
     approximate_pd_tensor,
     best_permutation_parameters,
+    diagonal_energies,
 )
 from repro.core.storage import (
     StorageReport,
@@ -81,6 +82,7 @@ __all__ = [
     "approximate_pd_tensor",
     "available_backends",
     "best_permutation_parameters",
+    "diagonal_energies",
     "block_index",
     "default_backend",
     "default_value_dtype",

@@ -31,6 +31,12 @@ class BlockPermDiagTensor4D:
         backend: kernel backend pinned to the channel-plane matrix (and
             inherited by every per-offset matrix a lowering derives from
             it); ``None`` follows the process default.
+        value_dtype: value dtype pinned to the channel-plane matrix.  The
+            kernels themselves always stay float64, but every per-offset
+            matrix a lowering derives via ``plane.like`` quantizes through
+            the plane's dtype -- so a tensor that must lower at full
+            precision has to pin ``"float64"`` here rather than inherit
+            the process default.
     """
 
     def __init__(
@@ -39,6 +45,7 @@ class BlockPermDiagTensor4D:
         ks: np.ndarray,
         channels: tuple[int, int] | None = None,
         backend: str | None = None,
+        value_dtype: str | None = None,
     ) -> None:
         kernels = np.asarray(kernels, dtype=np.float64)
         if kernels.ndim != 5:
@@ -51,7 +58,11 @@ class BlockPermDiagTensor4D:
         if channels is None:
             channels = (mb * p, nb * p)
         self._plane = BlockPermutedDiagonalMatrix(
-            np.ones((mb, nb, p)), ks, shape=channels, backend=backend
+            np.ones((mb, nb, p)),
+            ks,
+            shape=channels,
+            backend=backend,
+            value_dtype=value_dtype,
         )
         self.kernel_size = (kh, kw)
         self.kernels = kernels * self._plane.support_mask()[..., None, None]
@@ -91,6 +102,7 @@ class BlockPermDiagTensor4D:
         ks: np.ndarray | None = None,
         spec: PermutationSpec | None = None,
         backend: str | None = None,
+        value_dtype: str | None = None,
     ) -> "BlockPermDiagTensor4D":
         """Optimal L2 projection of a dense ``(c_out, c_in, kh, kw)`` tensor."""
         dense = np.asarray(dense, dtype=np.float64)
@@ -106,6 +118,7 @@ class BlockPermDiagTensor4D:
             np.asarray(ks),
             channels=(c_out, c_in),
             backend=backend,
+            value_dtype=value_dtype,
         )
         rows, cols = out._plane._global_indices()
         padded = np.zeros((mb * p, nb * p, kh, kw))

@@ -133,12 +133,19 @@ class PermDiagConv2D(Conv2D):
         return self._tensor.backend
 
     def to_tensor(self) -> BlockPermDiagTensor4D:
-        """Current weights as a compact PD tensor (keeps the pinned backend)."""
+        """Current weights as a compact PD tensor.
+
+        Keeps the pinned backend *and* the channel plane's value dtype:
+        lowerings quantize per-offset matrices through the plane, so a
+        repacked tensor must not silently fall back to the process
+        default dtype.
+        """
         return BlockPermDiagTensor4D.from_dense(
             self.weight.value,
             self.p,
             ks=self._tensor.ks,
             backend=self._tensor.backend,
+            value_dtype=self._tensor.plane.value_dtype,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,51 @@
+"""Typed error hierarchy of the compression factory (message-pinned)."""
+
+import pytest
+
+from repro.compress import (
+    CompressionError,
+    UnknownStrategyError,
+    ZooEntryError,
+    get_strategy,
+    zoo_entry,
+)
+
+
+class TestHierarchy:
+    def test_subclassing(self):
+        assert issubclass(UnknownStrategyError, CompressionError)
+        assert issubclass(UnknownStrategyError, LookupError)
+        assert issubclass(ZooEntryError, CompressionError)
+        assert issubclass(ZooEntryError, LookupError)
+        assert issubclass(CompressionError, Exception)
+
+    def test_attributes(self):
+        err = UnknownStrategyError("nope", ("anneal", "greedy"))
+        assert err.name == "nope"
+        assert err.known == ("anneal", "greedy")
+        err = ZooEntryError("nope", ("lenet",))
+        assert err.name == "nope"
+        assert err.known == ("lenet",)
+
+
+class TestMessages:
+    def test_unknown_strategy_message(self):
+        with pytest.raises(
+            UnknownStrategyError,
+            match=r"unknown compression strategy 'nope' "
+                  r"\(expected one of \('anneal', 'greedy'\)\)",
+        ):
+            get_strategy("nope")
+
+    def test_unknown_zoo_entry_message(self):
+        with pytest.raises(
+            ZooEntryError,
+            match=r"unknown zoo entry 'nope' \(expected one of \(",
+        ):
+            zoo_entry("nope")
+
+    def test_both_catchable_as_compression_error(self):
+        with pytest.raises(CompressionError):
+            get_strategy("nope")
+        with pytest.raises(CompressionError):
+            zoo_entry("nope")

@@ -1,0 +1,71 @@
+"""CompressionReport schema: JSON round-trip, deltas, rendering."""
+
+import json
+
+import pytest
+
+from repro.compress import CompressionReport, LayerReport, PhaseTimings
+
+
+def _report() -> CompressionReport:
+    return CompressionReport(
+        model="probe",
+        strategy="greedy",
+        value_dtype="float32",
+        metric_name="top1_accuracy",
+        dense_metric=0.91,
+        projected_metric=0.40,
+        finetuned_metric=0.88,
+        dense_weights=10_000,
+        stored_weights=2_500,
+        compression_ratio=4.0,
+        finetune_epochs=3,
+        num_shards=2,
+        seed=7,
+        verified=True,
+        layers=[
+            LayerReport(
+                name="Linear(100 -> 100)",
+                kind="fc",
+                dense_shape=[100, 100],
+                p=4,
+                dense_weights=10_000,
+                stored_weights=2_500,
+                retained_mass=0.41,
+                note="bias dropped (engine serves W*x only)",
+            )
+        ],
+        timings=PhaseTimings(search_s=0.5, finetune_s=2.0, export_s=0.25),
+    )
+
+
+class TestReport:
+    def test_metric_delta(self):
+        assert _report().metric_delta == pytest.approx(-0.03)
+
+    def test_layer_compression_ratio(self):
+        layer = _report().layers[0]
+        assert layer.compression_ratio == pytest.approx(4.0)
+
+    def test_timings_total(self):
+        assert _report().timings.total_s == pytest.approx(2.75)
+
+    def test_json_roundtrip_via_file(self, tmp_path):
+        report = _report()
+        path = str(tmp_path / "nested" / "report.json")
+        report.save(path)  # creates the parent directory
+        loaded = CompressionReport.load(path)
+        assert loaded == report
+        # The serialized form carries the derived delta for consumers.
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["metric_delta"] == pytest.approx(-0.03)
+        assert payload["schema_version"] == 1
+
+    def test_summary_mentions_key_numbers(self):
+        text = _report().summary()
+        assert "probe" in text
+        assert "4.00x" in text
+        assert "verified=True" in text
+        assert "bias dropped" in text
+        assert "top1_accuracy" in text

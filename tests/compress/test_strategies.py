@@ -1,0 +1,159 @@
+"""Search strategies: registry, greedy optimality, annealed refinement."""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    AnnealStrategy,
+    CompressionStrategy,
+    FCInterface,
+    GreedyStrategy,
+    get_strategy,
+    register_strategy,
+    retained_mass,
+    strategy_names,
+)
+from repro.core import (
+    BlockPermutedDiagonalMatrix,
+    best_permutation_parameters,
+    diagonal_energies,
+)
+
+
+def _relu(x):
+    return np.maximum(x, 0.0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "greedy" in strategy_names()
+        assert "anneal" in strategy_names()
+
+    def test_get_by_name_and_instance(self):
+        greedy = get_strategy("greedy")
+        assert isinstance(greedy, GreedyStrategy)
+        assert get_strategy(greedy) is greedy
+        assert isinstance(get_strategy("anneal"), AnnealStrategy)
+
+    def test_register_custom_strategy(self):
+        @register_strategy
+        class _Probe(CompressionStrategy):
+            name = "probe-strategy"
+
+        try:
+            assert isinstance(get_strategy("probe-strategy"), _Probe)
+        finally:
+            from repro.compress.strategies import _REGISTRY
+
+            del _REGISTRY["probe-strategy"]
+
+    def test_anneal_knobs_are_dataclass_fields(self):
+        # `name` must stay a plain class attribute while the schedule
+        # knobs stay configurable.
+        strat = AnnealStrategy(steps=7, start_frac=0.1)
+        assert strat.steps == 7
+        assert strat.name == "anneal"
+        assert AnnealStrategy.name == "anneal"
+
+
+class TestRetainedMass:
+    def test_matches_projection_energy(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(8, 8))
+        projected = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 4, ks=best_permutation_parameters(dense, 4),
+            value_dtype="float64",
+        ).to_dense()
+        assert retained_mass(dense, 4) == pytest.approx((projected**2).sum())
+
+    def test_select_ks_is_argmax(self):
+        rng = np.random.default_rng(1)
+        dense = rng.normal(size=(16, 8))
+        ks = get_strategy("greedy").select_ks(dense, 4, rng)
+        np.testing.assert_array_equal(
+            ks, diagonal_energies(dense, 4).argmax(axis=-1)
+        )
+
+
+class TestFCInterface:
+    def test_apply_preserves_network_function(self):
+        rng = np.random.default_rng(2)
+        upper = rng.normal(size=(12, 6))
+        lower = rng.normal(size=(5, 12))
+        bias = rng.normal(size=12)
+        x = rng.normal(size=(7, 6))
+        before = _relu(x @ upper.T + bias) @ lower.T
+
+        iface = FCInterface(
+            upper=upper, lower=lower, p_upper=4, p_lower=1, upper_bias=bias
+        )
+        iface.apply(rng.permutation(12))
+        after = _relu(x @ upper.T + bias) @ lower.T
+        np.testing.assert_allclose(after, before, atol=1e-12)
+
+    def test_mass_under_permutation(self):
+        rng = np.random.default_rng(3)
+        upper = rng.normal(size=(8, 8))
+        lower = rng.normal(size=(8, 8))
+        iface = FCInterface(upper=upper, lower=lower, p_upper=4, p_lower=4)
+        perm = rng.permutation(8)
+        expected = retained_mass(upper[perm], 4) + retained_mass(
+            lower[:, perm], 4
+        )
+        assert iface.mass(perm) == pytest.approx(expected)
+
+
+class TestAnneal:
+    def test_never_worse_than_greedy(self):
+        rng = np.random.default_rng(4)
+        for seed in range(3):
+            gen = np.random.default_rng(seed)
+            upper = gen.normal(size=(16, 8))
+            lower = gen.normal(size=(8, 16))
+            baseline = retained_mass(upper, 4) + retained_mass(lower, 4)
+            iface = FCInterface(
+                upper=upper.copy(), lower=lower.copy(), p_upper=4, p_lower=4
+            )
+            AnnealStrategy(steps=200).refine([iface], rng)
+            refined = retained_mass(iface.upper, 4) + retained_mass(
+                iface.lower, 4
+            )
+            assert refined >= baseline - 1e-12
+
+    def test_finds_planted_permutation_gain(self):
+        # Scramble the hidden units of a PD-friendly pair; annealing must
+        # recover a strictly better layout than the scrambled baseline.
+        gen = np.random.default_rng(5)
+        hidden = 16
+        upper = np.zeros((hidden, 8))
+        lower = np.zeros((8, hidden))
+        base_u = BlockPermutedDiagonalMatrix.random(
+            (hidden, 8), 4, rng=0, value_dtype="float64"
+        ).to_dense()
+        base_l = BlockPermutedDiagonalMatrix.random(
+            (8, hidden), 4, rng=1, value_dtype="float64"
+        ).to_dense()
+        scramble = gen.permutation(hidden)
+        upper[...] = base_u[scramble]
+        lower[...] = base_l[:, scramble]
+        baseline = retained_mass(upper, 4) + retained_mass(lower, 4)
+        ideal = retained_mass(base_u, 4) + retained_mass(base_l, 4)
+        assert baseline < ideal  # scrambling actually hurt
+
+        iface = FCInterface(
+            upper=upper, lower=lower, p_upper=4, p_lower=4
+        )
+        AnnealStrategy(steps=3000).refine([iface], np.random.default_rng(6))
+        refined = retained_mass(iface.upper, 4) + retained_mass(
+            iface.lower, 4
+        )
+        assert refined > baseline
+
+    def test_noop_on_zero_energy_interface(self):
+        iface = FCInterface(
+            upper=np.zeros((8, 8)), lower=np.zeros((8, 8)),
+            p_upper=4, p_lower=4,
+        )
+        AnnealStrategy(steps=50).refine([iface], np.random.default_rng(0))
+        assert not np.any(iface.upper)
+        assert not np.any(iface.lower)

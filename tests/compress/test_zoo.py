@@ -1,0 +1,124 @@
+"""Factory manifest registry + batch runner (resume, index.json)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    ZooEntry,
+    ZooEntryError,
+    format_zoo_results,
+    register_zoo_entry,
+    run_zoo,
+    zoo_entry,
+    zoo_names,
+)
+from repro.nn import Linear, ReLU, Sequential
+
+
+def _tiny_builder(seed: int):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(12, 16, bias=False, rng=rng),
+        ReLU(),
+        Linear(16, 8, bias=False, rng=rng),
+    )
+
+
+def _tiny_dataset(seed: int):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(64, 12))
+    y = rng.integers(0, 8, size=64)
+    return x[:48], y[:48], x[48:], y[48:]
+
+
+@pytest.fixture
+def tiny_entry():
+    entry = ZooEntry(
+        name="tiny-test-entry",
+        description="test-only entry",
+        builder=_tiny_builder,
+        dataset=_tiny_dataset,
+        fc_p=4,
+        head_p=4,
+        pretrain_epochs=1,
+        finetune_epochs=1,
+        batch_size=16,
+        num_shards=2,
+    )
+    register_zoo_entry(entry)
+    yield entry
+    from repro.compress.zoo import _ZOO
+
+    del _ZOO["tiny-test-entry"]
+
+
+class TestRegistry:
+    def test_builtin_entries_present(self):
+        names = zoo_names()
+        for expected in ("lenet", "lenet-smoke", "alexnet-fc", "resnet20",
+                         "nmt"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ZooEntryError):
+            zoo_entry("no-such-entry")
+
+    def test_overrides_do_not_touch_registry(self, tiny_entry):
+        widened = zoo_entry("tiny-test-entry", num_shards=4, seed=3)
+        assert widened.num_shards == 4
+        assert widened.seed == 3
+        assert zoo_entry("tiny-test-entry").num_shards == 2
+
+
+class TestRunZoo:
+    def test_run_then_resume(self, tmp_path, tiny_entry):
+        out = str(tmp_path / "zoo")
+        first = run_zoo(out, ("tiny-test-entry",))
+        assert [r.status for r in first] == ["ok"]
+        assert first[0].report.verified
+
+        entry_dir = os.path.join(out, "tiny-test-entry")
+        assert os.path.exists(os.path.join(entry_dir, "report.json"))
+        assert os.path.exists(
+            os.path.join(entry_dir, "bundle", "manifest.json")
+        )
+
+        second = run_zoo(out, ("tiny-test-entry",))
+        assert [r.status for r in second] == ["cached"]
+        assert second[0].report == first[0].report
+
+        third = run_zoo(out, ("tiny-test-entry",), resume=False)
+        assert [r.status for r in third] == ["ok"]
+
+    def test_index_json_headlines(self, tmp_path, tiny_entry):
+        out = str(tmp_path / "zoo")
+        results = run_zoo(out, ("tiny-test-entry",))
+        with open(os.path.join(out, "index.json")) as handle:
+            index = json.load(handle)
+        assert index["schema_version"] == 1
+        record = index["entries"]["tiny-test-entry"]
+        assert record["status"] == "ok"
+        assert record["verified"] is True
+        assert record["report"] == "tiny-test-entry/report.json"
+        assert record["bundle"] == "tiny-test-entry/bundle"
+        assert record["compression_ratio"] == pytest.approx(
+            results[0].report.compression_ratio, abs=1e-4
+        )
+
+    def test_corrupt_report_triggers_rerun(self, tmp_path, tiny_entry):
+        out = str(tmp_path / "zoo")
+        run_zoo(out, ("tiny-test-entry",))
+        report_path = os.path.join(out, "tiny-test-entry", "report.json")
+        with open(report_path, "w") as handle:
+            handle.write("{not json")
+        results = run_zoo(out, ("tiny-test-entry",))
+        assert [r.status for r in results] == ["ok"]
+
+    def test_format_zoo_results(self, tmp_path, tiny_entry):
+        results = run_zoo(str(tmp_path / "zoo"), ("tiny-test-entry",))
+        text = format_zoo_results(results)
+        assert "tiny-test-entry" in text
+        assert "top1_accuracy" in text

@@ -1,0 +1,139 @@
+"""Edge cases of the dense -> PD projection path the factory leans on.
+
+Regression pins for :meth:`BlockPermutedDiagonalMatrix.from_dense`,
+:meth:`BlockPermDiagTensor4D.from_dense`, and
+:meth:`PermDiagLinear.from_matrix`: non-multiple-of-``p`` shapes,
+all-zero matrices (including int16 fixed-point, whose format chooser
+must not divide by a zero peak), zero rows/columns, and value-dtype
+round-trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockPermDiagTensor4D,
+    BlockPermutedDiagonalMatrix,
+    best_permutation_parameters,
+    diagonal_energies,
+)
+from repro.nn import PermDiagLinear
+
+
+class TestNonMultipleShapes:
+    def test_shape_and_roundtrip_preserved(self):
+        dense = np.arange(35.0).reshape(7, 5)
+        matrix = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 4, value_dtype="float64"
+        )
+        assert matrix.shape == (7, 5)
+        back = matrix.to_dense()
+        assert back.shape == (7, 5)
+        # Projection semantics: every kept entry is the dense entry.
+        kept = back != 0
+        np.testing.assert_array_equal(back[kept], dense[kept])
+
+    def test_matvec_matches_projected_dense(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(7, 5))
+        matrix = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 4, value_dtype="float64"
+        )
+        x = rng.normal(size=5)
+        np.testing.assert_allclose(
+            matrix.matvec(x), matrix.to_dense() @ x, atol=1e-12
+        )
+
+    def test_from_matrix_serves_ragged_shapes(self):
+        dense = np.random.default_rng(1).normal(size=(7, 5))
+        matrix = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 4, value_dtype="float64"
+        )
+        layer = PermDiagLinear.from_matrix(matrix)
+        out = layer.forward(np.ones((3, 5)))
+        assert out.shape == (3, 7)
+        np.testing.assert_allclose(
+            out, np.ones((3, 5)) @ matrix.to_dense().T, atol=1e-12
+        )
+
+    def test_conv_tensor_non_multiple_channels(self):
+        kernel = np.random.default_rng(2).normal(size=(6, 5, 3, 3))
+        tensor = BlockPermDiagTensor4D.from_dense(kernel, 4)
+        back = tensor.to_dense()
+        assert back.shape == kernel.shape
+        kept = back != 0
+        np.testing.assert_array_equal(back[kept], kernel[kept])
+
+
+class TestAllZeroInputs:
+    def test_zero_matrix_float64(self):
+        matrix = BlockPermutedDiagonalMatrix.from_dense(
+            np.zeros((8, 8)), 4, value_dtype="float64"
+        )
+        assert matrix.nnz == 16
+        assert not np.any(matrix.to_dense())
+
+    def test_zero_matrix_int16_fixed_point(self):
+        # The fixed-point format chooser sees a zero peak; it must pick a
+        # valid format instead of dividing by zero.
+        matrix = BlockPermutedDiagonalMatrix.from_dense(
+            np.zeros((8, 8)), 4, value_dtype="int16"
+        )
+        assert matrix.value_dtype == "int16"
+        assert not np.any(matrix.to_dense())
+
+    def test_zero_rows_and_columns_stay_zero(self):
+        dense = np.random.default_rng(0).normal(size=(8, 8))
+        dense[3, :] = 0.0
+        dense[:, 5] = 0.0
+        back = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 4, value_dtype="float64"
+        ).to_dense()
+        assert not np.any(back[3, :])
+        assert not np.any(back[:, 5])
+
+    def test_shift_selection_on_zero_blocks_is_valid(self):
+        ks = best_permutation_parameters(np.zeros((8, 8)), 4)
+        assert ks.shape == (2, 2)
+        assert np.all((ks >= 0) & (ks < 4))
+        energies = diagonal_energies(np.zeros((8, 8)), 4)
+        assert energies.shape == (2, 2, 4)
+        assert not np.any(energies)
+
+
+class TestValueDtypeRoundTrips:
+    def test_float32_roundtrip_exact_for_representable_values(self):
+        rng = np.random.default_rng(1)
+        dense = rng.normal(size=(8, 8)).astype(np.float32).astype(np.float64)
+        m32 = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 2, value_dtype="float32"
+        )
+        np.testing.assert_array_equal(
+            m32.to_dense(), m32.with_value_dtype("float64").to_dense()
+        )
+
+    def test_int16_quantization_error_bounded(self):
+        rng = np.random.default_rng(2)
+        dense = rng.normal(size=(8, 8))
+        m64 = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 2, value_dtype="float64"
+        )
+        m16 = m64.with_value_dtype("int16")
+        peak = np.abs(m64.to_dense()).max()
+        # One quantization step at the chosen Q-format, conservatively
+        # bounded by peak / 2^14 (the format keeps the peak representable).
+        assert np.abs(m16.to_dense() - m64.to_dense()).max() <= peak / 2**14
+
+    def test_projection_is_kept_entry_subset(self):
+        rng = np.random.default_rng(3)
+        dense = rng.normal(size=(12, 8))
+        matrix = BlockPermutedDiagonalMatrix.from_dense(
+            dense, 4, ks=best_permutation_parameters(dense, 4),
+            value_dtype="float64",
+        )
+        back = matrix.to_dense()
+        kept = back != 0
+        np.testing.assert_array_equal(back[kept], dense[kept])
+        # Kept mass equals what the energy search promised.
+        promised = diagonal_energies(dense, 4).max(axis=-1).sum()
+        assert (back**2).sum() == pytest.approx(promised)

@@ -72,6 +72,23 @@ class TestRPR002BackendBypass:
     def test_core_out_of_scope(self):
         assert lint("from scipy import sparse\n", "src/repro/core/x.py") == []
 
+    def test_compress_in_scope_non_strict(self):
+        # The factory is in RPR002 scope (no raw products in offline
+        # pipelines either) but not in the serve-only strict form.
+        src = "from scipy import sparse\n"
+        assert codes(lint(src, "src/repro/compress/pipeline.py")) == ["RPR002"]
+        src = """
+            import numpy as np
+            def f(a, b):
+                return np.dot(a, b)
+        """
+        assert codes(lint(src, "src/repro/compress/zoo.py")) == ["RPR002"]
+        src = """
+            def f(a, b):
+                return a @ b
+        """
+        assert lint(src, "src/repro/compress/pipeline.py") == []
+
     def test_baselines_exempt(self):
         src = "from scipy import sparse\n"
         assert lint(src, "src/repro/hw/baselines/eie.py") == []

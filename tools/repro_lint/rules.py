@@ -153,7 +153,12 @@ class BackendBypassRule(Rule):
         "is shard state by construction, so name heuristics would only "
         "hide bypasses"
     )
-    scope = ("src/repro/nn/", "src/repro/hw/", "src/repro/serve/")
+    scope = (
+        "src/repro/nn/",
+        "src/repro/hw/",
+        "src/repro/serve/",
+        "src/repro/compress/",
+    )
     # The baseline simulators (EIE, CirCNN) model *other accelerators'*
     # storage formats -- bypassing the PD registry is their entire point.
     exempt = ("src/repro/hw/baselines/",)
